@@ -1,0 +1,131 @@
+// Command bgpsim runs a single attack scenario on a topology (generated
+// or loaded from the asgraph text format) and reports the security
+// metric, partition fractions, and downgrade counts for one
+// attacker-destination pair — a microscope for a single cell of the
+// paper's aggregate figures.
+//
+// Example:
+//
+//	bgpsim -n 4000 -d 17 -m 212 -model 2 -deploy t1t2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/deploy"
+	"sbgp/internal/policy"
+	"sbgp/internal/topogen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bgpsim: ")
+	graphPath := flag.String("graph", "", "topology file (empty: generate)")
+	n := flag.Int("n", 4000, "generated topology size")
+	seed := flag.Int64("seed", 1, "generator seed")
+	dst := flag.Int("d", 0, "destination AS index")
+	att := flag.Int("m", -1, "attacker AS index (-1: normal conditions)")
+	modelFlag := flag.Int("model", 3, "security model: 1, 2, or 3")
+	lpk := flag.Int("lpk", 0, "LPk local-preference variant (0 = standard)")
+	deployFlag := flag.String("deploy", "none", "deployment: none|t1t2|t1t2cp|t2|nonstubs")
+	showPath := flag.Int("path", -1, "print the route of this AS")
+	flag.Parse()
+
+	var g *asgraph.Graph
+	var meta *topogen.Meta
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err = asgraph.ReadFrom(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta = &topogen.Meta{}
+	} else {
+		var err error
+		g, meta, err = topogen.Generate(topogen.Params{N: *n, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := asgraph.Validate(g); err != nil {
+		log.Fatal(err)
+	}
+
+	var model policy.Model
+	switch *modelFlag {
+	case 1:
+		model = policy.Sec1st
+	case 2:
+		model = policy.Sec2nd
+	case 3:
+		model = policy.Sec3rd
+	default:
+		log.Fatalf("unknown model %d", *modelFlag)
+	}
+	lp := policy.LocalPref{K: *lpk}
+
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	var dep *core.Deployment
+	switch *deployFlag {
+	case "none":
+	case "t1t2":
+		dep = deploy.Build(g, tiers, deploy.Spec{NumTier1: 13, NumTier2: 100, IncludeStubs: true})
+	case "t1t2cp":
+		dep = deploy.Build(g, tiers, deploy.Spec{NumTier1: 13, NumTier2: 100, CPs: meta.CPs, IncludeStubs: true})
+	case "t2":
+		dep = deploy.Build(g, tiers, deploy.Spec{NumTier2: 100, IncludeStubs: true})
+	case "nonstubs":
+		dep = deploy.Build(g, tiers, deploy.Spec{AllNonStubs: true})
+	default:
+		log.Fatalf("unknown deployment %q", *deployFlag)
+	}
+
+	d := asgraph.AS(*dst)
+	m := asgraph.AS(*att)
+	if int(d) >= g.N() || (m != asgraph.None && int(m) >= g.N()) {
+		log.Fatalf("AS index out of range [0,%d)", g.N())
+	}
+
+	e := core.NewEngineLP(g, model, lp)
+	fmt.Printf("%s, %s, destination AS%d", model, lp, d)
+	if m != asgraph.None {
+		fmt.Printf(", attacker AS%d", m)
+	}
+	fmt.Printf(", %d secure ASes\n", dep.SecureCount())
+
+	if m != asgraph.None {
+		normal := e.RunNormal(d, dep).Clone()
+		attack := e.Run(d, m, dep)
+		lo, hi := attack.HappyBounds()
+		src := attack.NumSources()
+		fmt.Printf("happy sources: %.1f%% .. %.1f%% of %d\n",
+			100*float64(lo)/float64(src), 100*float64(hi)/float64(src), src)
+		fmt.Printf("secure routes: %d normal, %d under attack, %d downgraded\n",
+			core.CountSecure(normal), core.CountSecure(attack), core.CountDowngraded(normal, attack))
+		part := core.NewPartitioner(g, lp).Run(d, m)
+		im, dm, pr := part.Counts(model)
+		fmt.Printf("partition: %d immune, %d doomed, %d protectable\n", im, dm, pr)
+		if *showPath >= 0 && *showPath < g.N() {
+			fmt.Printf("route of AS%d: %v (%v, %s)\n", *showPath,
+				attack.Path(asgraph.AS(*showPath)), attack.Label[*showPath],
+				attack.Class[*showPath])
+		}
+		return
+	}
+	normal := e.RunNormal(d, dep)
+	fmt.Printf("secure routes under normal conditions: %d of %d sources\n",
+		core.CountSecure(normal), normal.NumSources())
+	if *showPath >= 0 && *showPath < g.N() {
+		fmt.Printf("route of AS%d: %v (%s)\n", *showPath,
+			normal.Path(asgraph.AS(*showPath)), normal.Class[*showPath])
+	}
+}

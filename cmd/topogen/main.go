@@ -1,0 +1,63 @@
+// Command topogen generates a synthetic Internet-like AS-level topology
+// (the repository's substitute for the UCLA Cyclops graph; see
+// DESIGN.md) and writes it in the asgraph text format to stdout or a
+// file. With -ixp it emits the IXP-augmented variant of Appendix J.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/topogen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("topogen: ")
+	n := flag.Int("n", 4000, "number of ASes")
+	seed := flag.Int64("seed", 1, "random seed")
+	ixp := flag.Bool("ixp", false, "emit the IXP-augmented graph")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	stats := flag.Bool("stats", false, "print a tier census to stderr")
+	flag.Parse()
+
+	g, meta, err := topogen.Generate(topogen.Params{N: *n, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *ixp {
+		var added int
+		g, added = asgraph.AugmentIXP(g, meta.IXPs)
+		fmt.Fprintf(os.Stderr, "augmented with %d IXP peering links\n", added)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+	if err := asgraph.WriteTo(w, g); err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		tiers := asgraph.Classify(g, meta.CPs, nil)
+		fmt.Fprintf(os.Stderr, "%d ASes, %d c2p, %d p2p\n",
+			g.N(), g.NumCustomerProviderLinks(), g.NumPeerLinks())
+		for t := 0; t < asgraph.NumTiers; t++ {
+			fmt.Fprintf(os.Stderr, "  %-7s %d\n", asgraph.Tier(t), len(tiers.Members[asgraph.Tier(t)]))
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package sbgp is a from-scratch Go reproduction of "BGP Security in
+// Partial Deployment: Is the Juice Worth the Squeeze?" (Lychev, Goldberg,
+// Schapira; SIGCOMM 2013).
+//
+// The library models interdomain routing with partially-deployed S*BGP
+// (S-BGP / soBGP / BGPSEC) coexisting with legacy BGP, under the three
+// placements of route security in the BGP decision process the paper
+// studies (security 1st, 2nd, 3rd), and quantifies how much security a
+// partial deployment buys over RPKI origin authentication alone.
+//
+// Packages:
+//
+//	internal/asgraph   AS-level topology substrate (relationships, tiers,
+//	                   serialization, IXP augmentation)
+//	internal/topogen   synthetic Internet generator (UCLA-graph stand-in)
+//	internal/policy    routing policy models and stage plans
+//	internal/core      routing-outcome engine (Appendix B), partitions,
+//	                   downgrades, metric bounds — the paper's core
+//	internal/bgpsim    message-level BGP/S*BGP simulator (wedgies,
+//	                   convergence, cross-validation)
+//	internal/deploy    partial-deployment scenario builders
+//	internal/maxk      Max-k-Security (NP-hardness gadget, exact, greedy)
+//	internal/rootcause collateral benefit/damage and downgrade accounting
+//	internal/runner    parallel experiment harness
+//	internal/exp       one experiment per paper table/figure
+//
+// The benchmarks in this directory regenerate every evaluation artifact;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
+// results.
+package sbgp

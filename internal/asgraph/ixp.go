@@ -1,0 +1,64 @@
+package asgraph
+
+// IXP augmentation, per Section 2.2 of the paper: empirical AS graphs miss
+// many peer-to-peer links established at Internet eXchange Points, so the
+// paper builds a second graph in which every pair of ASes that are members
+// of the same IXP (and not already adjacent) is connected by a peer edge.
+// The augmented graph over-approximates the missing links, which is the
+// point: results that hold on both graphs are robust to the missing edges
+// (Appendix J).
+
+// IXPMemberships lists, for each IXP, the member ASes.
+type IXPMemberships [][]AS
+
+// AugmentIXP returns a copy of g in which every pair of ASes appearing in
+// a common IXP member list is connected with a peer-to-peer edge, unless
+// the pair is already adjacent (with any relationship). It also returns
+// the number of peer edges added.
+func AugmentIXP(g *Graph, ixps IXPMemberships) (*Graph, int) {
+	type pair struct{ a, b AS }
+	add := make(map[pair]bool)
+	for _, members := range ixps {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if a == b {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				if g.Rel(a, b) != RelNone {
+					continue
+				}
+				add[pair{a, b}] = true
+			}
+		}
+	}
+	b := NewBuilder(g.N())
+	if g.asns != nil {
+		for v := AS(0); v < AS(g.N()); v++ {
+			b.SetASN(v, g.asns[v])
+		}
+	}
+	for v := AS(0); v < AS(g.N()); v++ {
+		for _, c := range g.Customers(v) {
+			b.AddProviderCustomer(v, c)
+		}
+		for _, p := range g.Peers(v) {
+			if v < p {
+				b.AddPeer(v, p)
+			}
+		}
+	}
+	for p := range add {
+		b.AddPeer(p.a, p.b)
+	}
+	out, err := b.Build()
+	if err != nil {
+		// Unreachable: inputs come from a valid Graph plus a de-duplicated,
+		// adjacency-checked set of new peer edges.
+		panic("asgraph: AugmentIXP rebuilt an invalid graph: " + err.Error())
+	}
+	return out, len(add)
+}

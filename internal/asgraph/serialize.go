@@ -1,0 +1,101 @@
+package asgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text serialization format is line-oriented:
+//
+//	# comments and blank lines are ignored
+//	n <count>             number of ASes (must come first)
+//	p2c <provider> <customer>
+//	p2p <a> <b>
+//	asn <index> <asn>     optional external AS number
+//
+// It is a stand-in for the UCLA Cyclops dumps the paper preprocessed
+// (Section 2.2); cmd/topogen emits it and all CLIs read it.
+
+// WriteTo serializes g in the text format above.
+func WriteTo(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# sbgp AS-level topology\nn %d\n", g.N())
+	for v := AS(0); v < AS(g.N()); v++ {
+		if g.asns != nil && g.asns[v] != int32(v) {
+			fmt.Fprintf(bw, "asn %d %d\n", v, g.asns[v])
+		}
+	}
+	for v := AS(0); v < AS(g.N()); v++ {
+		for _, c := range g.Customers(v) {
+			fmt.Fprintf(bw, "p2c %d %d\n", v, c)
+		}
+		for _, p := range g.Peers(v) {
+			if v < p { // each peer edge once
+				fmt.Fprintf(bw, "p2p %d %d\n", v, p)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses the text format produced by WriteTo.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var b *Builder
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "n":
+			if b != nil {
+				return nil, fmt.Errorf("line %d: duplicate n directive", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: n needs one argument", line)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("line %d: bad AS count %q", line, fields[1])
+			}
+			b = NewBuilder(n)
+		case "p2c", "p2p", "asn":
+			if b == nil {
+				return nil, fmt.Errorf("line %d: %s before n directive", line, fields[0])
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("line %d: %s needs two arguments", line, fields[0])
+			}
+			x, err1 := strconv.Atoi(fields[1])
+			y, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad AS index", line)
+			}
+			switch fields[0] {
+			case "p2c":
+				b.AddProviderCustomer(AS(x), AS(y))
+			case "p2p":
+				b.AddPeer(AS(x), AS(y))
+			case "asn":
+				b.SetASN(AS(x), int32(y))
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("missing n directive")
+	}
+	return b.Build()
+}

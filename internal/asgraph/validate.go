@@ -1,0 +1,88 @@
+package asgraph
+
+import "fmt"
+
+// Validate checks the structural invariants the routing models of the
+// paper assume:
+//
+//   - the customer→provider relation is acyclic (no AS is, transitively,
+//     its own provider); provider cycles would make the Gao–Rexford
+//     stability arguments (and Theorem 2.1) inapplicable;
+//   - every AS can reach a provider-free AS by following providers, i.e.
+//     the provider hierarchy is rooted (guaranteed by acyclicity plus the
+//     definition of provider-free roots, checked here explicitly for
+//     clarity of error messages).
+//
+// It returns nil if the graph is a valid interdomain topology.
+func Validate(g *Graph) error {
+	const (
+		unvisited = 0
+		inStack   = 1
+		done      = 2
+	)
+	state := make([]uint8, g.N())
+	// Iterative DFS over provider edges to find cycles.
+	type frame struct {
+		v  AS
+		ix int
+	}
+	var stack []frame
+	for start := AS(0); start < AS(g.N()); start++ {
+		if state[start] != unvisited {
+			continue
+		}
+		stack = append(stack[:0], frame{v: start})
+		state[start] = inStack
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			provs := g.Providers(f.v)
+			if f.ix < len(provs) {
+				next := provs[f.ix]
+				f.ix++
+				switch state[next] {
+				case unvisited:
+					state[next] = inStack
+					stack = append(stack, frame{v: next})
+				case inStack:
+					return fmt.Errorf("customer-provider cycle through AS %d and AS %d", f.v, next)
+				}
+			} else {
+				state[f.v] = done
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// Connected reports whether the underlying undirected graph is connected
+// (ignoring relationship annotations). Experiments assume a single
+// component; the generator guarantees it, hand-built graphs may not.
+func Connected(g *Graph) bool {
+	n := g.N()
+	if n == 0 {
+		return true
+	}
+	seen := make([]bool, n)
+	queue := make([]AS, 0, n)
+	queue = append(queue, 0)
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		visit := func(us []AS) {
+			for _, u := range us {
+				if !seen[u] {
+					seen[u] = true
+					count++
+					queue = append(queue, u)
+				}
+			}
+		}
+		visit(g.Customers(v))
+		visit(g.Peers(v))
+		visit(g.Providers(v))
+	}
+	return count == n
+}

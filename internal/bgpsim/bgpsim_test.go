@@ -1,0 +1,333 @@
+package bgpsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+	"sbgp/internal/topogen"
+)
+
+// wedgieNet builds the Figure 1 topology. Indices:
+//
+//	0 = AS 3     (MIT, the destination)
+//	1 = AS 8928  (the only insecure AS)
+//	2 = AS 34226
+//	3 = AS 31283 (Norwegian ISP: security 1st)
+//	4 = AS 29518 (Swedish ISP: security below LP)
+//	5 = AS 31027 (Danish ISP)
+//
+// Provider chains: 3 is a customer of 8928 and of 31027; 8928 a customer
+// of 34226; 34226 a customer of 31283; 31283 a customer of 29518; 29518 a
+// customer of 31027. So 31283 has an insecure customer route
+// [34226 8928 3] and a secure provider route [29518 31027 3], and 29518
+// has a secure provider route [31027 3] and — whenever 31283 uses its
+// customer route — an insecure customer route [31283 34226 8928 3].
+func wedgieGraph() *asgraph.Graph {
+	b := asgraph.NewBuilder(6)
+	b.AddProviderCustomer(1, 0) // 8928 provides MIT
+	b.AddProviderCustomer(5, 0) // 31027 provides MIT
+	b.AddProviderCustomer(2, 1) // 34226 provides 8928
+	b.AddProviderCustomer(3, 2) // 31283 provides 34226
+	b.AddProviderCustomer(4, 3) // 29518 provides 31283
+	b.AddProviderCustomer(5, 4) // 31027 provides 29518
+	return b.MustBuild()
+}
+
+// wedgiePlacements: everyone but AS 8928 is secure; 31283 ranks security
+// 1st while 29518 and 34226 rank it below LP — the inconsistency that
+// creates the wedgie.
+func wedgiePlacements(p29518, p31283 Placement) []Placement {
+	return []Placement{First, NotDeployed, Third, p31283, p29518, First}
+}
+
+func pathEquals(r *Route, want ...asgraph.AS) bool {
+	if r == nil || len(r.Path) != len(want) {
+		return false
+	}
+	for i := range want {
+		if r.Path[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFig1WedgieInconsistentPlacements(t *testing.T) {
+	// 29518 ranks security below LP (Third); 31283 ranks it 1st. The
+	// intended state is established the way an operator would: the
+	// secure path comes up first (the insecure 34226–8928 leg is down),
+	// then the insecure leg appears. Cold-starting both at once can
+	// oscillate — see TestInconsistentPlacementsCanOscillate.
+	s := New(wedgieGraph(), wedgiePlacements(Third, First))
+	s.FailLink(2, 1)
+	s.Announce(0)
+	s.Run(0)
+	s.RestoreLink(2, 1)
+	s.Run(0)
+
+	// Intended stable state: 31283 on the secure provider route through
+	// 29518; 29518 on its secure provider route through 31027.
+	if !pathEquals(s.RouteOf(3), 3, 4, 5, 0) || !s.RouteOf(3).Secure {
+		t.Fatalf("initial state: 31283 route = %v, want secure [3 4 5 0]", s.RouteOf(3))
+	}
+	if !pathEquals(s.RouteOf(4), 4, 5, 0) || !s.RouteOf(4).Secure {
+		t.Fatalf("initial state: 29518 route = %v, want secure [4 5 0]", s.RouteOf(4))
+	}
+
+	// The 31027–3 link fails and recovers.
+	s.FailLink(5, 0)
+	s.Run(0)
+	if !pathEquals(s.RouteOf(4), 4, 3, 2, 1, 0) {
+		t.Fatalf("after failure: 29518 route = %v, want customer route [4 3 2 1 0]", s.RouteOf(4))
+	}
+	s.RestoreLink(5, 0)
+	s.Run(0)
+
+	// BGP Wedgie: the network does NOT return to the intended state.
+	// 29518 sticks with the (insecure) customer route because its LP
+	// step outranks security, and 31283 is stuck behind it.
+	if !pathEquals(s.RouteOf(4), 4, 3, 2, 1, 0) {
+		t.Errorf("after recovery: 29518 route = %v, want wedged customer route [4 3 2 1 0]", s.RouteOf(4))
+	}
+	if !pathEquals(s.RouteOf(3), 3, 2, 1, 0) {
+		t.Errorf("after recovery: 31283 route = %v, want insecure [3 2 1 0]", s.RouteOf(3))
+	}
+	if s.RouteOf(3).Secure {
+		t.Error("after recovery: 31283's route must be insecure (8928 never deployed)")
+	}
+}
+
+func TestWedgieDisappearsWithConsistentPlacements(t *testing.T) {
+	// Theorem 2.1's flip side: with a *consistent* placement the flap
+	// returns the network to its unique stable state.
+	for _, pl := range []Placement{First, Second, Third} {
+		s := New(wedgieGraph(), []Placement{pl, NotDeployed, pl, pl, pl, pl})
+		s.Announce(0)
+		s.Run(0)
+		before3 := s.RouteOf(3).Path
+		before4 := s.RouteOf(4).Path
+
+		s.FailLink(5, 0)
+		s.Run(0)
+		s.RestoreLink(5, 0)
+		s.Run(0)
+
+		if !pathEquals(s.RouteOf(3), before3...) {
+			t.Errorf("placement %d: 31283 route changed across flap: %v -> %v",
+				pl, before3, s.RouteOf(3).Path)
+		}
+		if !pathEquals(s.RouteOf(4), before4...) {
+			t.Errorf("placement %d: 29518 route changed across flap: %v -> %v",
+				pl, before4, s.RouteOf(4).Path)
+		}
+	}
+}
+
+func TestInconsistentPlacementsCanOscillate(t *testing.T) {
+	// Section 2.3.1 notes (citing Sami et al.) that the existence of
+	// two stable states implies persistent routing oscillations are
+	// possible. Cold-starting the wedgie network delivers the DISAGREE
+	// pattern: under the synchronized FIFO schedule the two disagreeing
+	// ISPs can swap forever. The simulator must either land in one of
+	// the two stable states or hit its step budget — never a bogus
+	// third state.
+	stableA := [][]asgraph.AS{{3, 4, 5, 0}, {4, 5, 0}}
+	stableB := [][]asgraph.AS{{3, 2, 1, 0}, {4, 3, 2, 1, 0}}
+	s := New(wedgieGraph(), wedgiePlacements(Third, First))
+	s.Announce(0)
+	oscillated := func() (r bool) {
+		defer func() {
+			if recover() != nil {
+				r = true
+			}
+		}()
+		s.Run(40000)
+		return false
+	}()
+	if !oscillated {
+		inA := pathEquals(s.RouteOf(3), stableA[0]...) && pathEquals(s.RouteOf(4), stableA[1]...)
+		inB := pathEquals(s.RouteOf(3), stableB[0]...) && pathEquals(s.RouteOf(4), stableB[1]...)
+		if !inA && !inB {
+			t.Errorf("converged to a non-stable state: 31283=%v 29518=%v",
+				s.RouteOf(3), s.RouteOf(4))
+		}
+	}
+}
+
+func TestAttackAnnouncementIsInsecure(t *testing.T) {
+	// Even when the attacker itself deployed S*BGP, the bogus "m, d"
+	// path goes out via legacy BGP and must never validate.
+	b := asgraph.NewBuilder(3)
+	b.AddProviderCustomer(1, 0) // 1 provides d=0
+	b.AddProviderCustomer(1, 2) // 1 provides m=2
+	g := b.MustBuild()
+	s := New(g, []Placement{First, First, First})
+	s.Announce(0)
+	s.Attack(2, 0)
+	s.Run(0)
+	r := s.RouteOf(1)
+	if r == nil {
+		t.Fatal("AS 1 has no route")
+	}
+	// AS 1 sees secure [0] (len 1, customer) and bogus [2 0] (len 2,
+	// customer): the true route wins on length alone.
+	if !pathEquals(r, 1, 0) || !r.Secure {
+		t.Errorf("AS 1 route = %v secure=%v, want secure [1 0]", r.Path, r.Secure)
+	}
+	if !s.Happy(1) {
+		t.Error("AS 1 should be happy")
+	}
+}
+
+// crossValidate runs both the message-level simulator and the staged
+// Fix-Routes engine on the same scenario and compares every AS's class,
+// length, security, and happiness. This is the correctness argument of
+// Appendix B.5 as an executable property.
+func crossValidate(t *testing.T, g *asgraph.Graph, model policy.Model, d, m asgraph.AS, full *asgraph.Set, rng *rand.Rand) {
+	crossValidateLP(t, g, model, policy.Standard, d, m, full, rng)
+}
+
+func crossValidateLP(t *testing.T, g *asgraph.Graph, model policy.Model, lp policy.LocalPref, d, m asgraph.AS, full *asgraph.Set, rng *rand.Rand) {
+	t.Helper()
+	eng := core.NewEngineLP(g, model, lp, core.WithResolvedTiebreak())
+	var dep *core.Deployment
+	if full != nil {
+		dep = &core.Deployment{Full: full}
+	}
+	want := eng.Run(d, m, dep)
+
+	s := NewLP(g, UniformPlacements(g, model, full), lp)
+	s.Announce(d)
+	if m != asgraph.None {
+		s.Attack(m, d)
+	}
+	if rng != nil {
+		s.RunRandom(0, rng)
+	} else {
+		s.Run(0)
+	}
+
+	for v := asgraph.AS(0); int(v) < g.N(); v++ {
+		if v == d || v == m {
+			continue
+		}
+		r := s.RouteOf(v)
+		if r == nil {
+			if want.Class[v] != policy.ClassNone {
+				t.Errorf("%v d=%d m=%d: AS %d unrouted in sim but %v in engine", model, d, m, v, want.Class[v])
+			}
+			continue
+		}
+		if want.Class[v] == policy.ClassNone {
+			t.Errorf("%v d=%d m=%d: AS %d routed in sim but unrouted in engine", model, d, m, v)
+			continue
+		}
+		simLen := int32(len(r.Path) - 1)
+		simClass := classOf(g, v, r.Path[1])
+		simHappy := s.Happy(v)
+		engHappy := want.Label[v] == core.LabelDest
+		if simLen != want.Len[v] || simClass != want.Class[v] || r.Secure != want.Secure[v] || simHappy != engHappy {
+			t.Errorf("%v d=%d m=%d AS %d: sim (class=%v len=%d sec=%v happy=%v) vs engine (class=%v len=%d sec=%v happy=%v) path=%v",
+				model, d, m, v, simClass, simLen, r.Secure, simHappy,
+				want.Class[v], want.Len[v], want.Secure[v], engHappy, r.Path)
+		}
+	}
+}
+
+func TestCrossValidationAgainstEngine(t *testing.T) {
+	g, meta := topogen.MustGenerate(topogen.Params{N: 90, Seed: 7, TransitFrac: 0.3, NumCPs: 3, NumIXPs: 3})
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		d := asgraph.AS(rng.Intn(g.N()))
+		m := asgraph.AS(rng.Intn(g.N()))
+		if m == d {
+			continue
+		}
+		full := asgraph.NewSet(g.N())
+		for v := 0; v < g.N(); v++ {
+			if rng.Intn(3) == 0 {
+				full.Add(asgraph.AS(v))
+			}
+		}
+		for _, model := range policy.Models {
+			crossValidate(t, g, model, d, m, full, nil)
+		}
+	}
+	_ = meta
+}
+
+func TestCrossValidationLP2(t *testing.T) {
+	// The Appendix K LP2 variant: customer and peer routes interleaved
+	// by length up to 2 hops. Exercises the engine's exact-length
+	// stages against the message-level comparator.
+	g, _ := topogen.MustGenerate(topogen.Params{N: 90, Seed: 21, TransitFrac: 0.3, NumCPs: 3, NumIXPs: 3})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		d := asgraph.AS(rng.Intn(g.N()))
+		m := asgraph.AS(rng.Intn(g.N()))
+		if m == d {
+			continue
+		}
+		full := asgraph.NewSet(g.N())
+		for v := 0; v < g.N(); v++ {
+			if rng.Intn(3) == 0 {
+				full.Add(asgraph.AS(v))
+			}
+		}
+		for _, model := range policy.Models {
+			for _, lp := range []policy.LocalPref{policy.LP2, {K: 3}} {
+				crossValidateLP(t, g, model, lp, d, m, full, nil)
+			}
+		}
+	}
+}
+
+func TestTheorem21ConvergenceUnderRandomSchedules(t *testing.T) {
+	// Theorem 2.1: with consistent placements, S*BGP converges to a
+	// unique stable state under partial deployment, even during the
+	// attack. Randomized activation schedules must all agree with the
+	// staged engine.
+	g, _ := topogen.MustGenerate(topogen.Params{N: 60, Seed: 11, TransitFrac: 0.35, NumCPs: 3, NumIXPs: 3})
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 6; trial++ {
+		d := asgraph.AS(rng.Intn(g.N()))
+		m := asgraph.AS(rng.Intn(g.N()))
+		if m == d {
+			continue
+		}
+		full := asgraph.NewSet(g.N())
+		for v := 0; v < g.N(); v++ {
+			if rng.Intn(2) == 0 {
+				full.Add(asgraph.AS(v))
+			}
+		}
+		for _, model := range policy.Models {
+			for sched := 0; sched < 3; sched++ {
+				crossValidate(t, g, model, d, m, full, rand.New(rand.NewSource(int64(trial*100+sched))))
+			}
+		}
+	}
+}
+
+func TestStepBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run with tiny budget should panic rather than spin")
+		}
+	}()
+	g := lineGraphForTest(30)
+	s := New(g, make([]Placement, 30))
+	s.Announce(0)
+	s.Run(3)
+}
+
+func lineGraphForTest(n int) *asgraph.Graph {
+	b := asgraph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddProviderCustomer(asgraph.AS(i-1), asgraph.AS(i))
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,44 @@
+package core
+
+import "sbgp/internal/asgraph"
+
+// This file quantifies protocol downgrade attacks (Section 3.2,
+// Appendix F.1): a source that uses a secure route to the destination
+// under normal conditions but an insecure route during the attack has
+// been downgraded. Per Appendix F.1, the comparison is between the
+// normal-conditions outcome (no attacker, deployment S) and the attack
+// outcome (attacker m, same S) for the same destination and model.
+
+// Downgraded reports whether source v was downgraded between the
+// normal-conditions outcome and the attack outcome.
+func Downgraded(normal, attack *Outcome, v asgraph.AS) bool {
+	return normal.Secure[v] && !attack.Secure[v]
+}
+
+// CountDowngraded returns the number of source ASes downgraded between
+// the two outcomes. Both outcomes must be for the same destination and
+// deployment; normal must be a normal-conditions run.
+func CountDowngraded(normal, attack *Outcome) int {
+	if normal.Dst != attack.Dst {
+		panic("core: CountDowngraded outcomes have different destinations")
+	}
+	n := 0
+	for v := asgraph.AS(0); int(v) < len(attack.Secure); v++ {
+		if attack.IsSource(v) && Downgraded(normal, attack, v) {
+			n++
+		}
+	}
+	return n
+}
+
+// CountSecure returns the number of source ASes whose route in o is
+// fully secure.
+func CountSecure(o *Outcome) int {
+	n := 0
+	for v := asgraph.AS(0); int(v) < len(o.Secure); v++ {
+		if o.IsSource(v) && o.Secure[v] {
+			n++
+		}
+	}
+	return n
+}

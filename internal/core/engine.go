@@ -1,0 +1,386 @@
+package core
+
+import (
+	"sbgp/internal/asgraph"
+	"sbgp/internal/policy"
+)
+
+// Engine computes S*BGP routing outcomes with the staged Fix-Routes
+// algorithms of Appendix B. An Engine holds preallocated scratch sized to
+// its graph, so a single Engine is cheap to reuse across many
+// (attacker, destination, deployment) triples but must not be shared
+// between goroutines; the parallel harness gives each worker its own.
+type Engine struct {
+	g    *asgraph.Graph
+	plan policy.Plan
+
+	// resolve selects fully deterministic tiebreaking (lowest next-hop
+	// AS index) instead of the three-valued bound labels.
+	resolve bool
+
+	out Outcome
+
+	fixedList []asgraph.AS // ASes fixed so far, in fixing order
+	buckets   [][]asgraph.AS
+	touched   []asgraph.AS // peer-stage work list
+	inTouch   []bool
+	cvia      []asgraph.AS // candidate gather scratch
+	clen      []int32
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithResolvedTiebreak makes the engine resolve every tie with the
+// deterministic "lowest next-hop AS index" rule instead of computing the
+// three-valued bounds. Used for cross-validation against the
+// message-level simulator and for concrete example walk-throughs.
+func WithResolvedTiebreak() Option {
+	return func(e *Engine) { e.resolve = true }
+}
+
+// NewEngine returns an engine for the given graph and security model
+// under the standard local-preference policy.
+func NewEngine(g *asgraph.Graph, m policy.Model, opts ...Option) *Engine {
+	return NewEngineLP(g, m, policy.Standard, opts...)
+}
+
+// NewEngineLP returns an engine for the given security model and
+// local-preference variant (e.g. policy.LP2 for Appendix K).
+func NewEngineLP(g *asgraph.Graph, m policy.Model, lp policy.LocalPref, opts ...Option) *Engine {
+	n := g.N()
+	e := &Engine{
+		g:    g,
+		plan: policy.PlanFor(m, lp),
+		out: Outcome{
+			Class:  make([]policy.Class, n),
+			Len:    make([]int32, n),
+			Secure: make([]bool, n),
+			Label:  make([]Label, n),
+			Next:   make([]asgraph.AS, n),
+		},
+		inTouch: make([]bool, n),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Graph returns the engine's topology.
+func (e *Engine) Graph() *asgraph.Graph { return e.g }
+
+// Model returns the engine's security model.
+func (e *Engine) Model() policy.Model { return e.plan.Model }
+
+// RunNormal computes the routing outcome toward d under normal conditions
+// (no attacker), used for protocol-downgrade accounting and the
+// secure-route censuses of Figures 13 and 16.
+func (e *Engine) RunNormal(d asgraph.AS, dep *Deployment) *Outcome {
+	return e.Run(d, asgraph.None, dep)
+}
+
+// Run computes the stable routing outcome when attacker m targets
+// destination d and the ASes in dep are secure. Pass m = asgraph.None for
+// normal conditions. The returned Outcome is owned by the engine and
+// valid until the next Run.
+func (e *Engine) Run(d, m asgraph.AS, dep *Deployment) *Outcome {
+	if d == m {
+		panic("core: attacker equals destination")
+	}
+	o := &e.out
+	o.Dst, o.Attacker = d, m
+	for i := range o.Class {
+		o.Class[i] = policy.ClassNone
+		o.Len[i] = 0
+		o.Secure[i] = false
+		o.Label[i] = LabelNone
+		o.Next[i] = asgraph.None
+	}
+	e.fixedList = e.fixedList[:0]
+
+	// Roots. The destination originates the true route with length 0;
+	// the attacker originates the bogus "m, d" announcement, which
+	// recipients perceive as a route of length 1 from m (so length
+	// len(m)+1 = 2 at m's neighbors), always insecure because it is
+	// sent via legacy BGP.
+	e.fixRoot(d, 0, dep.OriginSecure(d), LabelDest)
+	if m != asgraph.None {
+		e.fixRoot(m, 1, false, LabelAttacker)
+	}
+
+	for _, st := range e.plan.Stages {
+		switch st.Class {
+		case policy.ClassCustomer:
+			e.runTreeStage(st, dep, true)
+		case policy.ClassProvider:
+			e.runTreeStage(st, dep, false)
+		case policy.ClassPeer:
+			e.runPeerStage(st, dep)
+		}
+	}
+	return o
+}
+
+func (e *Engine) fixRoot(v asgraph.AS, length int32, secure bool, label Label) {
+	o := &e.out
+	o.Class[v] = policy.ClassOrigin
+	o.Len[v] = length
+	o.Secure[v] = secure
+	o.Label[v] = label
+	o.Next[v] = asgraph.None
+	e.fixedList = append(e.fixedList, v)
+}
+
+func (e *Engine) fixed(v asgraph.AS) bool { return e.out.Class[v] != policy.ClassNone }
+
+// exportsWide reports whether v's fixed route may be announced to v's
+// providers and peers. Under Ex, only customer routes are exported beyond
+// customers; origins announce to everyone.
+func (e *Engine) exportsWide(v asgraph.AS) bool {
+	c := e.out.Class[v]
+	return c == policy.ClassCustomer || c == policy.ClassOrigin
+}
+
+// candidateSecure reports whether the route u would learn from w is fully
+// secure: w's own route must be secure and u must be a full S*BGP
+// adopter, able to validate it.
+func (e *Engine) candidateSecure(u, w asgraph.AS, dep *Deployment) bool {
+	return e.out.Secure[w] && dep.FullSecure(u)
+}
+
+// admissible reports whether w's route may be offered to u in this stage.
+func (e *Engine) admissible(st policy.Stage, u, w asgraph.AS, dep *Deployment) bool {
+	if st.MaxLen > 0 && e.out.Len[w]+1 > int32(st.MaxLen) {
+		return false
+	}
+	if st.SecureOnly && !e.candidateSecure(u, w, dep) {
+		return false
+	}
+	return true
+}
+
+// runTreeStage executes a customer-route stage (up == true: BFS upward
+// along customer→provider edges; the FCR/FSCR subroutines) or a
+// provider-route stage (up == false: BFS downward along
+// provider→customer edges; FPrvR/FSPrvR). Both are breadth-first by total
+// route length using a bucket queue, which implements the paper's
+// "select the AS with the shortest route" iteration exactly.
+func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
+	o := &e.out
+	maxLevel := 0
+	push := func(u asgraph.AS, level int32) {
+		l := int(level)
+		for len(e.buckets) <= l {
+			e.buckets = append(e.buckets, nil)
+		}
+		e.buckets[l] = append(e.buckets[l], u)
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	trigger := func(w asgraph.AS) {
+		var outNbrs []asgraph.AS
+		if up {
+			if !e.exportsWide(w) {
+				return
+			}
+			outNbrs = e.g.Providers(w)
+		} else {
+			outNbrs = e.g.Customers(w)
+		}
+		for _, u := range outNbrs {
+			if !e.fixed(u) && e.admissible(st, u, w, dep) {
+				push(u, o.Len[w]+1)
+			}
+		}
+	}
+	for _, w := range e.fixedList {
+		trigger(w)
+	}
+	for level := 1; level <= maxLevel; level++ {
+		bucket := e.buckets[level]
+		for bi := 0; bi < len(bucket); bi++ {
+			u := bucket[bi]
+			if e.fixed(u) {
+				continue
+			}
+			// Gather u's candidates at exactly this length.
+			e.cvia = e.cvia[:0]
+			var inNbrs []asgraph.AS
+			var class policy.Class
+			if up {
+				inNbrs = e.g.Customers(u)
+				class = policy.ClassCustomer
+			} else {
+				inNbrs = e.g.Providers(u)
+				class = policy.ClassProvider
+			}
+			for _, w := range inNbrs {
+				if !e.fixed(w) || o.Len[w]+1 != int32(level) {
+					continue
+				}
+				if up && !e.exportsWide(w) {
+					continue
+				}
+				if st.SecureOnly && !e.candidateSecure(u, w, dep) {
+					continue
+				}
+				e.cvia = append(e.cvia, w)
+			}
+			if len(e.cvia) == 0 {
+				continue // stale trigger (should not happen; defensive)
+			}
+			e.fixFromGroup(u, class, int32(level), st, dep)
+			// trigger only pushes to level+1, so the bucket slice we
+			// are iterating cannot grow under us.
+			trigger(u)
+		}
+		e.buckets[level] = e.buckets[level][:0]
+	}
+	// Reset any buckets beyond maxLevel that earlier stages grew.
+	for l := range e.buckets {
+		e.buckets[l] = e.buckets[l][:0]
+	}
+}
+
+// runPeerStage executes a peer-route stage (FPeeR/FSPeeR). Peer routes
+// are a customer-route chain plus one final peer hop, and under Ex a peer
+// route is never announced to another peer, so a single relaxation pass
+// suffices: no peer route can feed another.
+func (e *Engine) runPeerStage(st policy.Stage, dep *Deployment) {
+	o := &e.out
+	e.touched = e.touched[:0]
+	for _, w := range e.fixedList {
+		if !e.exportsWide(w) {
+			continue
+		}
+		for _, u := range e.g.Peers(w) {
+			if !e.fixed(u) && !e.inTouch[u] && e.admissible(st, u, w, dep) {
+				e.inTouch[u] = true
+				e.touched = append(e.touched, u)
+			}
+		}
+	}
+	for _, u := range e.touched {
+		e.inTouch[u] = false
+		// Gather all peer candidates for u (varying lengths).
+		e.cvia = e.cvia[:0]
+		e.clen = e.clen[:0]
+		for _, w := range e.g.Peers(u) {
+			if !e.fixed(w) || !e.exportsWide(w) {
+				continue
+			}
+			if !e.admissible(st, u, w, dep) {
+				continue
+			}
+			e.cvia = append(e.cvia, w)
+			e.clen = append(e.clen, o.Len[w]+1)
+		}
+		if len(e.cvia) == 0 {
+			continue
+		}
+		e.selectPeerAndFix(u, st, dep)
+	}
+}
+
+// selectPeerAndFix applies the model's preference among u's gathered peer
+// candidates (which may differ in length) and fixes u.
+func (e *Engine) selectPeerAndFix(u asgraph.AS, st policy.Stage, dep *Deployment) {
+	full := dep.FullSecure(u)
+	// Determine the candidate pool: with SecAboveLength (security 2nd),
+	// a full adopter restricts to secure candidates when any exist, even
+	// if an insecure candidate is shorter.
+	poolSecure := false
+	if st.SecureOnly {
+		poolSecure = true
+	} else if full && st.Sec == policy.SecAboveLength {
+		for i := range e.cvia {
+			if e.candidateSecure(u, e.cvia[i], dep) {
+				poolSecure = true
+				break
+			}
+		}
+	}
+	best := int32(1 << 30)
+	for i := range e.cvia {
+		if poolSecure && !e.candidateSecure(u, e.cvia[i], dep) {
+			continue
+		}
+		if e.clen[i] < best {
+			best = e.clen[i]
+		}
+	}
+	// Shrink the gathered candidates to the chosen pool at the chosen
+	// length, then reuse the common-length fixer.
+	k := 0
+	for i := range e.cvia {
+		if e.clen[i] != best {
+			continue
+		}
+		if poolSecure && !e.candidateSecure(u, e.cvia[i], dep) {
+			continue
+		}
+		e.cvia[k] = e.cvia[i]
+		k++
+	}
+	e.cvia = e.cvia[:k]
+	e.fixFromGroup(u, policy.ClassPeer, best, st, dep)
+}
+
+// fixFromGroup fixes u's route given its candidate next hops e.cvia, all
+// offering routes of the same class and total length. It applies the
+// stage's security preference (the SecP step) and then either merges the
+// candidates' happiness labels (bounds mode) or resolves the tie with the
+// deterministic lowest-index rule (resolved mode).
+func (e *Engine) fixFromGroup(u asgraph.AS, class policy.Class, length int32, st policy.Stage, dep *Deployment) {
+	o := &e.out
+	group := e.cvia
+	secureChoice := st.SecureOnly
+	if !st.SecureOnly && st.Sec != policy.SecIgnore && dep.FullSecure(u) {
+		// Among equally good candidates, a full adopter prefers the
+		// secure ones (SecP before TB).
+		k := 0
+		for _, w := range group {
+			if e.candidateSecure(u, w, dep) {
+				group[k] = w
+				k++
+			}
+		}
+		if k > 0 {
+			group = group[:k]
+			secureChoice = true
+		}
+	}
+
+	var label Label
+	next := group[0]
+	if e.resolve {
+		for _, w := range group {
+			if w < next {
+				next = w
+			}
+		}
+		label = o.Label[next]
+	} else {
+		// Merge the group's labels: a uniform group keeps its parents'
+		// label (including LabelAmbig, which propagates downstream); a
+		// mixed group becomes tiebreak-dependent.
+		label = o.Label[group[0]]
+		for _, w := range group {
+			if w < next {
+				next = w
+			}
+			if o.Label[w] != label {
+				label = LabelAmbig
+			}
+		}
+	}
+
+	o.Class[u] = class
+	o.Len[u] = length
+	o.Secure[u] = secureChoice && dep.FullSecure(u)
+	o.Label[u] = label
+	o.Next[u] = next
+	e.fixedList = append(e.fixedList, u)
+}

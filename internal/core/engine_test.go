@@ -1,0 +1,369 @@
+package core
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/policy"
+)
+
+func TestLineGraphNormalConditions(t *testing.T) {
+	// On the chain d=0 ← 1 ← 2 ← 3 every AS buys transit from the one
+	// before it, so everyone reaches d through its provider, with
+	// lengths equal to hop count.
+	g := lineGraph(4)
+	for _, m := range allModels {
+		e := NewEngine(g, m)
+		o := e.RunNormal(0, nil)
+		for v := asgraph.AS(1); v < 4; v++ {
+			if o.Label[v] != LabelDest {
+				t.Errorf("%v: AS %d label = %v, want happy", m, v, o.Label[v])
+			}
+			if o.Class[v] != policy.ClassProvider {
+				t.Errorf("%v: AS %d class = %v, want provider", m, v, o.Class[v])
+			}
+			if o.Len[v] != int32(v) {
+				t.Errorf("%v: AS %d len = %d, want %d", m, v, o.Len[v], v)
+			}
+			if o.Secure[v] {
+				t.Errorf("%v: AS %d secure without deployment", m, v)
+			}
+		}
+	}
+}
+
+func TestLineGraphFullDeploymentIsSecure(t *testing.T) {
+	g := lineGraph(4)
+	dep := &Deployment{Full: asgraph.SetOf(4, 0, 1, 2, 3)}
+	for _, m := range allModels {
+		o := NewEngine(g, m).RunNormal(0, dep)
+		for v := asgraph.AS(1); v < 4; v++ {
+			if !o.Secure[v] {
+				t.Errorf("%v: AS %d not secure under full deployment", m, v)
+			}
+		}
+	}
+}
+
+func TestSecureChainBrokenByInsecureMiddle(t *testing.T) {
+	// d=0 ← 1 ← 2 ← 3 with 1 insecure: 1's route is insecure, so 2 and 3
+	// cannot learn a secure route even though they deployed S*BGP.
+	g := lineGraph(4)
+	dep := &Deployment{Full: asgraph.SetOf(4, 0, 2, 3)}
+	for _, m := range allModels {
+		o := NewEngine(g, m).RunNormal(0, dep)
+		for v := asgraph.AS(1); v < 4; v++ {
+			if o.Secure[v] {
+				t.Errorf("%v: AS %d secure despite insecure AS 1 on path", m, v)
+			}
+		}
+	}
+}
+
+func TestSimplexOriginIsSecureButSimplexSourceIsNot(t *testing.T) {
+	// d simplex, 1 and 2 full: routes to d validate (simplex signs its
+	// own origin announcements)...
+	g := lineGraph(3)
+	dep := &Deployment{
+		Full:    asgraph.SetOf(3, 1, 2),
+		Simplex: asgraph.SetOf(3, 0),
+	}
+	for _, m := range allModels {
+		o := NewEngine(g, m).RunNormal(0, dep)
+		if !o.Secure[1] || !o.Secure[2] {
+			t.Errorf("%v: simplex origin should yield secure routes", m)
+		}
+	}
+	// ...but a simplex AS in the middle breaks the chain (it cannot
+	// re-sign), and a simplex receiver cannot validate.
+	dep = &Deployment{
+		Full:    asgraph.SetOf(3, 0, 2),
+		Simplex: asgraph.SetOf(3, 1),
+	}
+	for _, m := range allModels {
+		o := NewEngine(g, m).RunNormal(0, dep)
+		if o.Secure[1] {
+			t.Errorf("%v: simplex AS 1 cannot validate, its route is not secure", m)
+		}
+		if o.Secure[2] {
+			t.Errorf("%v: AS 2's route crosses simplex AS 1 and cannot be secure", m)
+		}
+	}
+}
+
+func TestAttackOnLineGraph(t *testing.T) {
+	// d=0 ← 1 ← 2 ← 3 ← 4; attacker is 4. The bogus announcement
+	// arrives at every AS as a *customer* route (it climbs the provider
+	// chain), while the legitimate route is a *provider* route. Under
+	// the LP step customer routes always win: with origin
+	// authentication alone, every source is unhappy.
+	g := lineGraph(5)
+	for _, m := range allModels {
+		o := NewEngine(g, m).Run(0, 4, nil)
+		for v := asgraph.AS(1); v <= 3; v++ {
+			if o.Label[v] != LabelAttacker {
+				t.Errorf("%v: AS %d label = %v, want unhappy (customer beats provider)", m, v, o.Label[v])
+			}
+		}
+	}
+	// Security 1st with 0..3 secure: everyone prefers the secure
+	// provider chain over the bogus insecure customer route.
+	dep := &Deployment{Full: asgraph.SetOf(5, 0, 1, 2, 3)}
+	o := NewEngine(g, policy.Sec1st).Run(0, 4, dep)
+	for v := asgraph.AS(1); v <= 3; v++ {
+		if o.Label[v] != LabelDest || !o.Secure[v] {
+			t.Errorf("sec1st: AS %d = %v/secure=%v, want happy and secure", v, o.Label[v], o.Secure[v])
+		}
+	}
+	// Security 2nd and 3rd: LP still ranks the bogus customer route
+	// first; S*BGP cannot help (every source is doomed).
+	for _, m := range []policy.Model{policy.Sec2nd, policy.Sec3rd} {
+		o := NewEngine(g, m).Run(0, 4, dep)
+		for v := asgraph.AS(1); v <= 3; v++ {
+			if o.Label[v] != LabelAttacker {
+				t.Errorf("%v: AS %d label = %v, want unhappy despite security", m, v, o.Label[v])
+			}
+		}
+		p := NewPartitioner(g, policy.Standard).Run(0, 4)
+		for v := asgraph.AS(1); v <= 3; v++ {
+			if got := p.Cat[m][v]; got != CatDoomed {
+				t.Errorf("%v: AS %d category = %v, want doomed", m, v, got)
+			}
+		}
+	}
+}
+
+func TestFig2ProtocolDowngrade(t *testing.T) {
+	f := newFig2()
+	for _, m := range []policy.Model{policy.Sec2nd, policy.Sec3rd} {
+		e := NewEngine(f.g, m)
+		normal := e.RunNormal(f.d, f.dep).Clone()
+		if !normal.Secure[f.as21740] || normal.Class[f.as21740] != policy.ClassProvider {
+			t.Fatalf("%v: 21740 normal route = %v secure=%v, want secure provider route",
+				m, normal.Class[f.as21740], normal.Secure[f.as21740])
+		}
+		attack := e.Run(f.d, f.m, f.dep)
+		// The webhost downgrades to the bogus 4-hop peer route.
+		if attack.Label[f.as21740] != LabelAttacker {
+			t.Errorf("%v: 21740 label = %v, want unhappy (downgraded)", m, attack.Label[f.as21740])
+		}
+		if attack.Class[f.as21740] != policy.ClassPeer || attack.Len[f.as21740] != 4 {
+			t.Errorf("%v: 21740 route = %v len %d, want peer len 4",
+				m, attack.Class[f.as21740], attack.Len[f.as21740])
+		}
+		if attack.Secure[f.as21740] {
+			t.Errorf("%v: downgraded route reported secure", m)
+		}
+		// Cogent prefers the bogus customer route (doomed).
+		if attack.Label[f.as174] != LabelAttacker {
+			t.Errorf("%v: 174 label = %v, want unhappy", m, attack.Label[f.as174])
+		}
+		// The single-homed stub is immune and keeps its secure route.
+		if attack.Label[f.as3536] != LabelDest || !attack.Secure[f.as3536] {
+			t.Errorf("%v: 3536 = %v secure=%v, want happy and secure", m, attack.Label[f.as3536], attack.Secure[f.as3536])
+		}
+		if got := CountDowngraded(normal, attack); got != 1 {
+			t.Errorf("%v: downgraded count = %d, want 1 (only 21740)", m, got)
+		}
+	}
+
+	// Security 1st blunts the attack: 21740 keeps its secure route
+	// (Theorem 3.1).
+	e := NewEngine(f.g, policy.Sec1st)
+	attack := e.Run(f.d, f.m, f.dep)
+	if attack.Label[f.as21740] != LabelDest || !attack.Secure[f.as21740] {
+		t.Errorf("sec1st: 21740 = %v secure=%v, want happy and secure",
+			attack.Label[f.as21740], attack.Secure[f.as21740])
+	}
+}
+
+func TestFig2Partitions(t *testing.T) {
+	f := newFig2()
+	p := NewPartitioner(f.g, policy.Standard).Run(f.d, f.m)
+	// Security 2nd and 3rd: Cogent's bogus route is a customer route,
+	// its legitimate route a peer route: doomed. The webhost's bogus
+	// route is a peer route, its legitimate one a provider route:
+	// doomed. The stub is immune.
+	for _, m := range []policy.Model{policy.Sec2nd, policy.Sec3rd} {
+		if got := p.Cat[m][f.as174]; got != CatDoomed {
+			t.Errorf("%v: 174 category = %v, want doomed", m, got)
+		}
+		if got := p.Cat[m][f.as21740]; got != CatDoomed {
+			t.Errorf("%v: 21740 category = %v, want doomed", m, got)
+		}
+		if got := p.Cat[m][f.as3536]; got != CatImmune {
+			t.Errorf("%v: 3536 category = %v, want immune", m, got)
+		}
+	}
+	// Security 1st: 174 and 21740 become protectable (Section 4.3.1
+	// discusses exactly AS 174), the stub stays immune (it cannot even
+	// perceive a bogus route).
+	if got := p.Cat[policy.Sec1st][f.as174]; got != CatProtectable {
+		t.Errorf("sec1st: 174 category = %v, want protectable", got)
+	}
+	if got := p.Cat[policy.Sec1st][f.as21740]; got != CatProtectable {
+		t.Errorf("sec1st: 21740 category = %v, want protectable", got)
+	}
+	if got := p.Cat[policy.Sec1st][f.as3536]; got != CatImmune {
+		t.Errorf("sec1st: 3536 category = %v, want immune", got)
+	}
+}
+
+func TestFig14CollateralDamage(t *testing.T) {
+	f := newFig14damage()
+	e := NewEngine(f.g, policy.Sec2nd)
+
+	before := e.Run(f.d, f.m, nil).Clone()
+	if before.Label[f.s] != LabelDest {
+		t.Fatalf("s label before = %v, want happy (legit len 3 < bogus len 4)", before.Label[f.s])
+	}
+	if before.Len[f.p] != 2 || before.Class[f.p] != policy.ClassProvider {
+		t.Fatalf("p before = %v len %d, want provider len 2", before.Class[f.p], before.Len[f.p])
+	}
+
+	after := e.Run(f.d, f.m, f.after)
+	if !after.Secure[f.p] || after.Len[f.p] != 4 {
+		t.Fatalf("p after = secure=%v len=%d, want secure len 4 (switched to long secure route)",
+			after.Secure[f.p], after.Len[f.p])
+	}
+	if after.Label[f.s] != LabelAttacker {
+		t.Errorf("s label after = %v, want unhappy: collateral damage", after.Label[f.s])
+	}
+
+	// Theorem 6.1: no collateral damage under security 3rd — p keeps
+	// the short insecure route, s stays happy.
+	e3 := NewEngine(f.g, policy.Sec3rd)
+	after3 := e3.Run(f.d, f.m, f.after)
+	if after3.Label[f.s] != LabelDest {
+		t.Errorf("sec3rd: s label = %v, want happy (no collateral damage possible)", after3.Label[f.s])
+	}
+	if after3.Secure[f.p] {
+		t.Errorf("sec3rd: p should keep the shorter insecure route")
+	}
+}
+
+func TestFig14CollateralBenefit(t *testing.T) {
+	f := newFig14benefit()
+	e := NewEngine(f.g, policy.Sec2nd)
+
+	before := e.Run(f.d, f.m, nil)
+	if before.Label[f.p] != LabelAttacker || before.Label[f.s] != LabelAttacker {
+		t.Fatalf("before: p=%v s=%v, want both unhappy", before.Label[f.p], before.Label[f.s])
+	}
+
+	after := e.Run(f.d, f.m, f.after)
+	if !after.Secure[f.p] || after.Label[f.p] != LabelDest {
+		t.Fatalf("after: p secure=%v label=%v, want secure and happy", after.Secure[f.p], after.Label[f.p])
+	}
+	if after.Label[f.s] != LabelDest {
+		t.Errorf("after: s label = %v, want happy: collateral benefit", after.Label[f.s])
+	}
+	if after.Secure[f.s] {
+		t.Errorf("s is insecure; its route must not be reported secure")
+	}
+}
+
+func TestFig15CollateralBenefitSec3(t *testing.T) {
+	f := newFig15benefit()
+
+	// Bounds mode: before deployment 3267 (and its customer 34223) are
+	// balanced on the tiebreak knife's edge.
+	e := NewEngine(f.g, policy.Sec3rd)
+	before := e.Run(f.d, f.m, nil).Clone()
+	if before.Label[f.as3267] != LabelAmbig {
+		t.Errorf("bounds: 3267 label = %v, want tiebreak-dependent", before.Label[f.as3267])
+	}
+	if before.Label[f.as34223] != LabelAmbig {
+		t.Errorf("bounds: 34223 label = %v, want tiebreak-dependent (inherited)", before.Label[f.as34223])
+	}
+
+	// Resolved mode: the deterministic tiebreak (lowest next hop; the
+	// attacker side has the lower index) picks the bogus route, like
+	// the unlucky Russian ISP in the paper.
+	er := NewEngine(f.g, policy.Sec3rd, WithResolvedTiebreak())
+	rBefore := er.Run(f.d, f.m, nil).Clone()
+	if rBefore.Label[f.as3267] != LabelAttacker || rBefore.Label[f.as34223] != LabelAttacker {
+		t.Fatalf("resolved before: 3267=%v 34223=%v, want both unhappy",
+			rBefore.Label[f.as3267], rBefore.Label[f.as34223])
+	}
+
+	// After deployment the legitimate peer route is secure; SecP sits
+	// above TB, so 3267 picks it, and 34223 benefits collaterally in
+	// both modes.
+	for name, eng := range map[string]*Engine{"bounds": e, "resolved": er} {
+		after := eng.Run(f.d, f.m, f.after)
+		if after.Label[f.as3267] != LabelDest || !after.Secure[f.as3267] {
+			t.Errorf("%s after: 3267 = %v secure=%v, want happy and secure",
+				name, after.Label[f.as3267], after.Secure[f.as3267])
+		}
+		if after.Label[f.as34223] != LabelDest {
+			t.Errorf("%s after: 34223 = %v, want happy (collateral benefit)", name, after.Label[f.as34223])
+		}
+	}
+}
+
+func TestFig17CollateralDamageSec1(t *testing.T) {
+	f := newFig17damage()
+	e := NewEngine(f.g, policy.Sec1st)
+
+	before := e.Run(f.d, f.m, nil).Clone()
+	if before.Label[f.as4805] != LabelDest || before.Class[f.as4805] != policy.ClassPeer {
+		t.Fatalf("before: 4805 = %v/%v, want happy via peer route",
+			before.Label[f.as4805], before.Class[f.as4805])
+	}
+
+	after := e.Run(f.d, f.m, f.after)
+	// 7474 switched to the secure provider route...
+	if !after.Secure[f.as7474] || after.Class[f.as7474] != policy.ClassProvider {
+		t.Fatalf("after: 7474 = %v secure=%v, want secure provider route",
+			after.Class[f.as7474], after.Secure[f.as7474])
+	}
+	// ...which Ex forbids exporting to the peer 4805, which falls to
+	// the bogus provider route: collateral damage under security 1st.
+	if after.Label[f.as4805] != LabelAttacker || after.Class[f.as4805] != policy.ClassProvider {
+		t.Errorf("after: 4805 = %v/%v, want unhappy via provider route (collateral damage)",
+			after.Label[f.as4805], after.Class[f.as4805])
+	}
+}
+
+func TestOutcomePathReconstruction(t *testing.T) {
+	f := newFig2()
+	e := NewEngine(f.g, policy.Sec2nd, WithResolvedTiebreak())
+	attack := e.Run(f.d, f.m, f.dep)
+	path := attack.Path(f.as21740)
+	want := []asgraph.AS{f.as21740, f.as174, f.as3491, f.m}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestRunPanicsOnAttackerEqualsDestination(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run(d, d) did not panic")
+		}
+	}()
+	NewEngine(lineGraph(3), policy.Sec3rd).Run(1, 1, nil)
+}
+
+func TestHappyBounds(t *testing.T) {
+	f := newFig15benefit()
+	o := NewEngine(f.g, policy.Sec3rd).Run(f.d, f.m, nil)
+	lo, hi := o.HappyBounds()
+	// 12389 and 7922+hop are deterministic; 3267 and 34223 are
+	// tiebreak-dependent. Sources: all except d and m (5 ASes).
+	if o.NumSources() != 5 {
+		t.Fatalf("NumSources = %d, want 5", o.NumSources())
+	}
+	if hi-lo != 2 {
+		t.Errorf("bounds = [%d,%d], want gap of exactly 2 (3267 and 34223)", lo, hi)
+	}
+	if lo < 2 {
+		t.Errorf("lower bound = %d; hop, 7922 must be certainly happy", lo)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"sbgp/internal/asgraph"
+	"sbgp/internal/policy"
+)
+
+// This file encodes the paper's hand-worked example topologies as test
+// fixtures. AS numbers from the figures map to dense indices; where a
+// figure leaves edges ambiguous, the fixture is the minimal topology
+// consistent with the routes described in the prose, and the comments
+// spell out the intended route sets.
+
+// fig2 is the protocol-downgrade example of Figure 2 / Section 3.2: the
+// attacker m pretends to be adjacent to the Tier 1 destination AS 3356
+// (Level 3) and steals webhost AS 21740's traffic under the security 2nd
+// and 3rd models, because the bogus 4-hop *peer* route via Cogent AS 174
+// has better local preference than the legitimate 1-hop *provider* route.
+type fig2 struct {
+	g                            *asgraph.Graph
+	d, m, as21740, as174, as3491 asgraph.AS
+	as3536                       asgraph.AS
+	dep                          *Deployment
+}
+
+func newFig2() *fig2 {
+	// Indices: 0=3356(d) 1=21740 2=174 3=3491 4=3536 5=m
+	f := &fig2{d: 0, as21740: 1, as174: 2, as3491: 3, as3536: 4, m: 5}
+	b := asgraph.NewBuilder(6)
+	b.AddProviderCustomer(f.d, f.as21740) // 21740 buys from Level3
+	b.AddProviderCustomer(f.d, f.as3536)  // DoD stub, single-homed on d
+	b.AddPeer(f.as174, f.d)               // Cogent peers with Level3
+	b.AddPeer(f.as174, f.as21740)         // Cogent peers with the webhost
+	b.AddProviderCustomer(f.as174, f.as3491)
+	b.AddProviderCustomer(f.as3491, f.m) // attacker is a customer of PCCW
+	f.g = b.MustBuild()
+	// "All T1s and their stubs and the CPs secure": here 3356 and its
+	// stub customers 21740 and 3536.
+	f.dep = &Deployment{Full: asgraph.SetOf(6, f.d, f.as21740, f.as3536)}
+	return f
+}
+
+// fig14damage captures the collateral-damage mechanism of Figure 14
+// (security 2nd): insecure AS 52142 ("s") is happy before deployment
+// because its provider AS 5617 ("p") uses a short insecure route; after
+// 5617 turns secure it switches to a much longer secure route of the same
+// LP class (security 2nd ranks SecP above length), pushing s's legitimate
+// route length above the bogus one.
+//
+// Routes (lengths include the attacker's claimed hop to d):
+//
+//	p before: [q1 d]            len 2, provider, insecure
+//	p after:  [q2 c2 c1 d]      len 4, provider, secure
+//	s legit:  via p             len 3 before, 5 after
+//	s bogus:  [w w2 m (d)]      len 4, provider, insecure
+type fig14damage struct {
+	g             *asgraph.Graph
+	d, m          asgraph.AS
+	p, s          asgraph.AS
+	q1, q2        asgraph.AS
+	c1, c2, w, w2 asgraph.AS
+	after         *Deployment
+}
+
+func newFig14damage() *fig14damage {
+	f := &fig14damage{d: 0, q1: 1, p: 2, s: 3, c1: 4, c2: 5, q2: 6, w: 7, w2: 8, m: 9}
+	b := asgraph.NewBuilder(10)
+	b.AddProviderCustomer(f.q1, f.d) // q1 provides d: insecure short path
+	b.AddProviderCustomer(f.q1, f.p) // p buys from q1
+	b.AddProviderCustomer(f.c1, f.d) // secure chain d↑c1↑c2↑q2
+	b.AddProviderCustomer(f.c2, f.c1)
+	b.AddProviderCustomer(f.q2, f.c2)
+	b.AddProviderCustomer(f.q2, f.p) // p also buys from q2
+	b.AddProviderCustomer(f.p, f.s)  // s buys from p
+	b.AddProviderCustomer(f.w, f.s)  // s also buys from w
+	b.AddProviderCustomer(f.w, f.w2) // bogus chain m↑w2↑w
+	b.AddProviderCustomer(f.w2, f.m)
+	f.g = b.MustBuild()
+	f.after = &Deployment{Full: asgraph.SetOf(10, f.d, f.c1, f.c2, f.q2, f.p)}
+	return f
+}
+
+// fig14benefit captures the collateral-benefit mechanism of Figure 14
+// (security 2nd, the AS 5166 / Cogent story): insecure single-homed s is
+// unhappy before deployment because its provider p prefers a short bogus
+// customer route; after p turns secure, p switches to a longer secure
+// customer route (same LP class) and s becomes happy collaterally.
+//
+//	p before: [ca m (d)]      len 3, customer, insecure (bogus)
+//	p after:  [cb cb2 cb3 d]  len 4, customer, secure
+type fig14benefit struct {
+	g            *asgraph.Graph
+	d, m         asgraph.AS
+	p, s         asgraph.AS
+	ca           asgraph.AS
+	cb, cb2, cb3 asgraph.AS
+	after        *Deployment
+}
+
+func newFig14benefit() *fig14benefit {
+	f := &fig14benefit{d: 0, p: 1, s: 2, ca: 3, cb: 4, cb2: 5, cb3: 6, m: 7}
+	b := asgraph.NewBuilder(8)
+	b.AddProviderCustomer(f.cb3, f.d) // legit chain d↑cb3↑cb2↑cb↑p
+	b.AddProviderCustomer(f.cb2, f.cb3)
+	b.AddProviderCustomer(f.cb, f.cb2)
+	b.AddProviderCustomer(f.p, f.cb)
+	b.AddProviderCustomer(f.ca, f.m) // bogus chain m↑ca↑p
+	b.AddProviderCustomer(f.p, f.ca)
+	b.AddProviderCustomer(f.p, f.s) // single-homed insecure customer
+	f.g = b.MustBuild()
+	f.after = &Deployment{Full: asgraph.SetOf(8, f.d, f.cb3, f.cb2, f.cb, f.p)}
+	return f
+}
+
+// fig15benefit reproduces Figure 15's collateral benefit in the security
+// 3rd model: AS 3267 has two equal-length insecure peer routes — one
+// legitimate (via AS 7922) and one bogus (via AS 12389) — and its
+// tiebreak favors the attacker; with S*BGP the legitimate route becomes
+// secure and SecP (below SP, above TB) rescues 3267 and, collaterally,
+// its insecure customer AS 34223.
+//
+// The attacker-side peer deliberately has the lower index so the engine's
+// deterministic tiebreak ("lowest next hop") favors the attacker before
+// deployment, exactly like the unlucky tiebreak in the paper.
+type fig15benefit struct {
+	g                                *asgraph.Graph
+	d, m                             asgraph.AS
+	as12389, as3267, as34223, as7922 asgraph.AS
+	hop                              asgraph.AS
+	after                            *Deployment
+}
+
+func newFig15benefit() *fig15benefit {
+	f := &fig15benefit{d: 0, as12389: 1, as3267: 2, as34223: 3, as7922: 4, m: 5, hop: 6}
+	b := asgraph.NewBuilder(7)
+	b.AddProviderCustomer(f.hop, f.d) // legit chain d↑hop↑7922
+	b.AddProviderCustomer(f.as7922, f.hop)
+	b.AddPeer(f.as3267, f.as7922)              // legit peer route [7922 hop d], len 3
+	b.AddProviderCustomer(f.as12389, f.m)      // bogus chain m↑12389
+	b.AddPeer(f.as3267, f.as12389)             // bogus peer route [12389 m (d)], len 3
+	b.AddProviderCustomer(f.as3267, f.as34223) // insecure customer
+	f.g = b.MustBuild()
+	f.after = &Deployment{Full: asgraph.SetOf(7, f.d, f.hop, f.as7922, f.as3267)}
+	return f
+}
+
+// fig17damage reproduces Figure 17 / Appendix A: collateral damage in the
+// security 1st model caused by the export rule Ex. Secure AS 7474
+// abandons its customer route (which it exported to its peer AS 4805) for
+// a secure provider route (which Ex forbids exporting to a peer), leaving
+// 4805 with only the bogus provider route via AS 2647.
+type fig17damage struct {
+	g                      *asgraph.Graph
+	d, m                   asgraph.AS
+	as4805, as7474, as7473 asgraph.AS
+	as17477, as2647        asgraph.AS
+	after                  *Deployment
+}
+
+func newFig17damage() *fig17damage {
+	f := &fig17damage{d: 0, as4805: 1, as7474: 2, as7473: 3, as17477: 4, as2647: 5, m: 6}
+	b := asgraph.NewBuilder(7)
+	b.AddProviderCustomer(f.as17477, f.d)      // 17477 provides d
+	b.AddProviderCustomer(f.as7474, f.as17477) // customer route [17477 d] at 7474
+	b.AddPeer(f.as4805, f.as7474)              // 4805 peers with Optus 7474
+	b.AddProviderCustomer(f.as7473, f.as7474)  // 7473 provides 7474
+	b.AddProviderCustomer(f.as7473, f.d)       // secure provider route [7473 d]
+	b.AddProviderCustomer(f.as2647, f.as4805)  // 2647 provides Orange 4805
+	b.AddProviderCustomer(f.as2647, f.m)       // bogus route [2647 m (d)]
+	f.g = b.MustBuild()
+	f.after = &Deployment{Full: asgraph.SetOf(7, f.d, f.as7473, f.as7474)}
+	return f
+}
+
+// lineGraph builds a provider chain d=0 ← 1 ← 2 ← ... where AS i buys
+// transit from AS i-1.
+func lineGraph(n int) *asgraph.Graph {
+	b := asgraph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddProviderCustomer(asgraph.AS(i-1), asgraph.AS(i))
+	}
+	return b.MustBuild()
+}
+
+var allModels = []policy.Model{policy.Sec1st, policy.Sec2nd, policy.Sec3rd}

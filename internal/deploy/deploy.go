@@ -1,0 +1,189 @@
+// Package deploy builds the partial-deployment scenarios evaluated in
+// Section 5 of the paper: which ASes adopt S*BGP at each step of a
+// rollout. All scenarios are expressed as core.Deployment values.
+//
+// The paper's scenarios (Sections 5.2–5.3):
+//
+//   - Tier 1 + Tier 2 rollout: X Tier 1s and Y Tier 2s plus all of their
+//     stub customers, (X,Y) ∈ {(13,13), (13,37), (13,100)};
+//   - the same rollout with the 17 content providers added;
+//   - Tier 2-only rollout: Y ∈ {13, 26, 50, 100} Tier 2s plus stubs;
+//   - all non-stub ASes;
+//   - all Tier 1s plus their stubs (the "early adopter" scenario the
+//     paper argues against);
+//   - simplex S*BGP at stubs (Section 5.3.2) as a variant of any of the
+//     above.
+package deploy
+
+import (
+	"fmt"
+	"sort"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+)
+
+// Spec describes a deployment scenario declaratively.
+type Spec struct {
+	// NumTier1 secures the top NumTier1 Tier 1 ASes by customer degree.
+	NumTier1 int
+	// NumTier2 secures the top NumTier2 Tier 2 ASes by customer degree.
+	NumTier2 int
+	// CPs secures the given content-provider ASes.
+	CPs []asgraph.AS
+	// IncludeStubs additionally secures every stub AS that has at least
+	// one provider among the ASes selected above (the "and all of their
+	// stubs" of Section 5.2.1).
+	IncludeStubs bool
+	// AllNonStubs secures every AS with at least one customer
+	// (Section 5.2.4's final scenario). It composes with the fields
+	// above (they become redundant except for CPs and stubs).
+	AllNonStubs bool
+	// SimplexStubs places stubs (wherever they are secured) in simplex
+	// mode rather than full S*BGP (Section 5.3.2).
+	SimplexStubs bool
+}
+
+// Build materializes the scenario on a classified graph.
+func Build(g *asgraph.Graph, tiers *asgraph.Tiers, spec Spec) *core.Deployment {
+	n := g.N()
+	full := asgraph.NewSet(n)
+	simplex := asgraph.NewSet(n)
+
+	secureStub := func(v asgraph.AS) {
+		if spec.SimplexStubs {
+			simplex.Add(v)
+		} else {
+			full.Add(v)
+		}
+	}
+	secure := func(v asgraph.AS) {
+		if g.IsAnyStub(v) {
+			secureStub(v)
+		} else {
+			full.Add(v)
+		}
+	}
+
+	for _, v := range topByCustomerDegree(g, tiers.Members[asgraph.TierT1], spec.NumTier1) {
+		secure(v)
+	}
+	for _, v := range topByCustomerDegree(g, tiers.Members[asgraph.TierT2], spec.NumTier2) {
+		secure(v)
+	}
+	for _, v := range spec.CPs {
+		secure(v)
+	}
+	if spec.AllNonStubs {
+		for v := asgraph.AS(0); int(v) < n; v++ {
+			if !g.IsAnyStub(v) {
+				full.Add(v)
+			}
+		}
+	}
+	if spec.IncludeStubs {
+		// Stubs of the secured non-stub ASes. Per Table 1's usage in the
+		// paper, "stubs" are ASes with no customers.
+		anchor := full.Clone()
+		for _, v := range asgraph.StubCustomersOf(g, anchor) {
+			secureStub(v)
+		}
+	}
+	return &core.Deployment{Full: full, Simplex: simplex}
+}
+
+// topByCustomerDegree returns the top k members by customer degree (ties
+// by AS index). k larger than the tier takes the whole tier.
+func topByCustomerDegree(g *asgraph.Graph, members []asgraph.AS, k int) []asgraph.AS {
+	if k <= 0 {
+		return nil
+	}
+	sorted := append([]asgraph.AS(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool {
+		di, dj := g.CustomerDegree(sorted[i]), g.CustomerDegree(sorted[j])
+		if di != dj {
+			return di > dj
+		}
+		return sorted[i] < sorted[j]
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// Tier12Rollout returns the three steps of Section 5.2.1's rollout:
+// (13,13), (13,37), (13,100) Tier 1s and Tier 2s plus their stubs.
+func Tier12Rollout(g *asgraph.Graph, tiers *asgraph.Tiers, simplexStubs bool) []Step {
+	var steps []Step
+	for _, y := range []int{13, 37, 100} {
+		spec := Spec{NumTier1: 13, NumTier2: y, IncludeStubs: true, SimplexStubs: simplexStubs}
+		steps = append(steps, Step{
+			Name:       stepName(13, y, false),
+			Spec:       spec,
+			Deployment: Build(g, tiers, spec),
+		})
+	}
+	return steps
+}
+
+// Tier12CPRollout is Section 5.2.2's variant with all CPs secured at
+// every step.
+func Tier12CPRollout(g *asgraph.Graph, tiers *asgraph.Tiers, cps []asgraph.AS, simplexStubs bool) []Step {
+	var steps []Step
+	for _, y := range []int{13, 37, 100} {
+		spec := Spec{NumTier1: 13, NumTier2: y, CPs: cps, IncludeStubs: true, SimplexStubs: simplexStubs}
+		steps = append(steps, Step{
+			Name:       stepName(13, y, true),
+			Spec:       spec,
+			Deployment: Build(g, tiers, spec),
+		})
+	}
+	return steps
+}
+
+// Tier2Rollout is Section 5.2.4's Tier 2-only rollout: Y ∈
+// {13, 26, 50, 100} Tier 2s plus their stubs.
+func Tier2Rollout(g *asgraph.Graph, tiers *asgraph.Tiers, simplexStubs bool) []Step {
+	var steps []Step
+	for _, y := range []int{13, 26, 50, 100} {
+		spec := Spec{NumTier2: y, IncludeStubs: true, SimplexStubs: simplexStubs}
+		steps = append(steps, Step{
+			Name:       stepName(0, y, false),
+			Spec:       spec,
+			Deployment: Build(g, tiers, spec),
+		})
+	}
+	return steps
+}
+
+// Step is one point of a rollout.
+type Step struct {
+	Name       string
+	Spec       Spec
+	Deployment *core.Deployment
+}
+
+// NonStubCount returns the number of secured non-stub ASes, the x-axis
+// of Figures 7, 8, and 11.
+func (s Step) NonStubCount(g *asgraph.Graph) int {
+	n := 0
+	for _, v := range s.Deployment.Full.Members() {
+		if !g.IsAnyStub(v) {
+			n++
+		}
+	}
+	return n
+}
+
+func stepName(x, y int, cps bool) string {
+	name := ""
+	if x > 0 {
+		name += fmt.Sprintf("%d×T1+", x)
+	}
+	name += fmt.Sprintf("%d×T2", y)
+	if cps {
+		name += "+CPs"
+	}
+	return name + "+stubs"
+}

@@ -1,0 +1,129 @@
+package deploy
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/topogen"
+)
+
+func fixture() (*asgraph.Graph, *asgraph.Tiers, *topogen.Meta) {
+	g, meta := topogen.MustGenerate(topogen.Params{N: 2000, Seed: 6})
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	return g, tiers, meta
+}
+
+func TestBuildTopTiers(t *testing.T) {
+	g, tiers, _ := fixture()
+	dep := Build(g, tiers, Spec{NumTier1: 13, NumTier2: 13})
+	if got := dep.Full.Len(); got != 26 {
+		t.Fatalf("secured %d ASes, want 26", got)
+	}
+	for _, v := range dep.Full.Members() {
+		tier := tiers.TierOf(v)
+		if tier != asgraph.TierT1 && tier != asgraph.TierT2 {
+			t.Errorf("AS %d in deployment has tier %v", v, tier)
+		}
+	}
+	if dep.Simplex.Len() != 0 {
+		t.Error("no stubs requested, but simplex set non-empty")
+	}
+}
+
+func TestBuildIncludesStubs(t *testing.T) {
+	g, tiers, _ := fixture()
+	noStubs := Build(g, tiers, Spec{NumTier1: 13, NumTier2: 100})
+	withStubs := Build(g, tiers, Spec{NumTier1: 13, NumTier2: 100, IncludeStubs: true})
+	if withStubs.Full.Len() <= noStubs.Full.Len() {
+		t.Fatal("IncludeStubs did not grow the deployment")
+	}
+	// Every added AS must be a stub with a secured provider.
+	for _, v := range withStubs.Full.Members() {
+		if noStubs.Full.Has(v) {
+			continue
+		}
+		if !g.IsAnyStub(v) {
+			t.Errorf("added AS %d is not a stub", v)
+		}
+		ok := false
+		for _, p := range g.Providers(v) {
+			if noStubs.Full.Has(p) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("stub %d has no secured provider", v)
+		}
+	}
+}
+
+func TestBuildSimplexStubs(t *testing.T) {
+	g, tiers, _ := fixture()
+	dep := Build(g, tiers, Spec{NumTier1: 13, NumTier2: 100, IncludeStubs: true, SimplexStubs: true})
+	if dep.Simplex.Len() == 0 {
+		t.Fatal("simplex set empty")
+	}
+	for _, v := range dep.Simplex.Members() {
+		if !g.IsAnyStub(v) {
+			t.Errorf("simplex AS %d is not a stub", v)
+		}
+		if dep.Full.Has(v) {
+			t.Errorf("AS %d in both full and simplex sets", v)
+		}
+	}
+	for _, v := range dep.Full.Members() {
+		if g.IsAnyStub(v) {
+			t.Errorf("stub %d fully secured despite SimplexStubs", v)
+		}
+	}
+}
+
+func TestBuildAllNonStubs(t *testing.T) {
+	g, tiers, _ := fixture()
+	dep := Build(g, tiers, Spec{AllNonStubs: true})
+	want := len(asgraph.NonStubs(g))
+	if got := dep.Full.Len(); got != want {
+		t.Fatalf("secured %d, want %d non-stubs", got, want)
+	}
+}
+
+func TestRolloutsGrowMonotonically(t *testing.T) {
+	g, tiers, meta := fixture()
+	check := func(name string, steps []Step) {
+		t.Helper()
+		for i := 1; i < len(steps); i++ {
+			if !steps[i].Deployment.Full.ContainsAll(steps[i-1].Deployment.Full) {
+				t.Errorf("%s: step %d does not contain step %d", name, i, i-1)
+			}
+			if steps[i].NonStubCount(g) <= steps[i-1].NonStubCount(g) {
+				t.Errorf("%s: non-stub count did not grow at step %d", name, i)
+			}
+		}
+	}
+	check("T1+T2", Tier12Rollout(g, tiers, false))
+	check("T1+T2+CP", Tier12CPRollout(g, tiers, meta.CPs, false))
+	check("T2", Tier2Rollout(g, tiers, false))
+
+	steps := Tier12Rollout(g, tiers, false)
+	if len(steps) != 3 {
+		t.Fatalf("T1+T2 rollout has %d steps, want 3", len(steps))
+	}
+	// First step secures 13 T1s + 13 T2s = 26 non-stubs.
+	if got := steps[0].NonStubCount(g); got != 26 {
+		t.Errorf("first step has %d non-stubs, want 26", got)
+	}
+	if steps[0].Name != "13×T1+13×T2+stubs" {
+		t.Errorf("unexpected step name %q", steps[0].Name)
+	}
+}
+
+func TestTier2RolloutExcludesTier1(t *testing.T) {
+	g, tiers, _ := fixture()
+	for _, step := range Tier2Rollout(g, tiers, false) {
+		for _, v := range step.Deployment.Full.Members() {
+			if tiers.TierOf(v) == asgraph.TierT1 {
+				t.Fatalf("T2 rollout secured Tier 1 AS %d", v)
+			}
+		}
+	}
+}

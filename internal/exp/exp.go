@@ -1,0 +1,353 @@
+// Package exp defines one runnable experiment per table and figure of
+// the paper's evaluation. Each experiment returns plain data; cmd/
+// experiments formats it next to the paper's reported numbers, and the
+// repository-level benchmarks wrap these functions so `go test -bench`
+// regenerates every artifact.
+//
+// The workload substitutes a synthetic topology for the UCLA graph and a
+// deterministic sample of attacker-destination pairs for the paper's
+// full |V|² enumeration (see DESIGN.md); the *shape* of every result —
+// who wins, by roughly what factor, where the crossovers fall — is the
+// reproduction target, not the absolute numbers.
+package exp
+
+import (
+	"sort"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/deploy"
+	"sbgp/internal/policy"
+	"sbgp/internal/rootcause"
+	"sbgp/internal/runner"
+	"sbgp/internal/topogen"
+)
+
+// Workload bundles a generated topology with deterministic pair samples.
+type Workload struct {
+	G     *asgraph.Graph
+	Tiers *asgraph.Tiers
+	Meta  *topogen.Meta
+
+	// All lists every AS; NonStubs is the attacker population M' of
+	// Section 5.2 ("non-stub attackers").
+	All      []asgraph.AS
+	NonStubs []asgraph.AS
+
+	// M and D are the sampled attacker and destination sets.
+	M, D []asgraph.AS
+
+	// DTiered and MTiered are stratified samples with a fixed quota per
+	// tier, used by the by-tier partition experiments (Figures 4–6) so
+	// every tier bucket is populated.
+	DTiered, MTiered []asgraph.AS
+
+	// MaxPerDest caps per-destination series (Figures 9, 10, 12).
+	MaxPerDest int
+
+	Workers int
+}
+
+// Config sizes a workload. The zero value gives the default experiment
+// scale (4000 ASes, 24×32 sampled pairs).
+type Config struct {
+	N          int   // topology size (default 4000)
+	Seed       int64 // generator seed (default 1)
+	MaxM       int   // attacker sample size (default 24)
+	MaxD       int   // destination sample size (default 32)
+	MaxPerDest int   // per-destination series sample (default 200)
+	Workers    int   // 0 = GOMAXPROCS
+}
+
+func (c *Config) applyDefaults() {
+	if c.N == 0 {
+		c.N = 4000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxM == 0 {
+		c.MaxM = 24
+	}
+	if c.MaxD == 0 {
+		c.MaxD = 32
+	}
+	if c.MaxPerDest == 0 {
+		c.MaxPerDest = 200
+	}
+}
+
+// NewWorkload generates the topology and samples pairs.
+func NewWorkload(cfg Config) *Workload {
+	cfg.applyDefaults()
+	g, meta := topogen.MustGenerate(topogen.Params{N: cfg.N, Seed: cfg.Seed})
+	return newWorkloadFromGraph(g, meta, cfg)
+}
+
+// NewIXPWorkload is NewWorkload on the IXP-augmented graph (Appendix J).
+func NewIXPWorkload(cfg Config) *Workload {
+	cfg.applyDefaults()
+	g, meta := topogen.MustGenerate(topogen.Params{N: cfg.N, Seed: cfg.Seed})
+	aug, _ := asgraph.AugmentIXP(g, meta.IXPs)
+	return newWorkloadFromGraph(aug, meta, cfg)
+}
+
+func newWorkloadFromGraph(g *asgraph.Graph, meta *topogen.Meta, cfg Config) *Workload {
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	all := make([]asgraph.AS, g.N())
+	for i := range all {
+		all[i] = asgraph.AS(i)
+	}
+	nonStubs := asgraph.NonStubs(g)
+	M, D := runner.SamplePairs(nonStubs, all, cfg.MaxM, cfg.MaxD)
+	quota := cfg.MaxD/2 + 1
+	var dTiered, mTiered []asgraph.AS
+	for t := 0; t < asgraph.NumTiers; t++ {
+		members, _ := runner.SamplePairs(tiers.Members[asgraph.Tier(t)], nil, quota, 0)
+		dTiered = append(dTiered, members...)
+		mTiered = append(mTiered, members...)
+	}
+	return &Workload{
+		G: g, Tiers: tiers, Meta: meta,
+		All: all, NonStubs: nonStubs,
+		M: M, D: D,
+		DTiered: dTiered, MTiered: mTiered,
+		MaxPerDest: cfg.MaxPerDest,
+		Workers:    cfg.Workers,
+	}
+}
+
+// Baseline computes E1: the lower bound on H_{V,V}(∅) — origin
+// authentication alone (Section 4.2; the paper reports ≥60%, 62% on the
+// IXP-augmented graph).
+func (w *Workload) Baseline(model policy.Model, lp policy.LocalPref) runner.Metric {
+	return runner.EvalMetric(w.G, model, lp, nil, w.M, w.D, w.Workers)
+}
+
+// Partitions computes E2 (Figure 3): doomed/protectable/immune fractions
+// over all sampled pairs, per security model.
+func (w *Workload) Partitions(lp policy.LocalPref) runner.PartitionFractions {
+	return runner.EvalPartitions(w.G, lp, w.M, w.D, w.Workers)
+}
+
+// PartitionsByDestTier computes E3/E4 (Figures 4 and 5): partitions
+// bucketed by destination tier, over a tier-stratified destination
+// sample.
+func (w *Workload) PartitionsByDestTier(lp policy.LocalPref) []runner.PartitionFractions {
+	return runner.EvalPartitionsBucketed(w.G, lp, w.M, w.DTiered, w.Workers, asgraph.NumTiers,
+		func(m, d asgraph.AS) int { return int(w.Tiers.TierOf(d)) })
+}
+
+// PartitionsByAttackerTier computes E5 (Figure 6): partitions bucketed
+// by attacker tier, over a tier-stratified attacker sample (the paper
+// buckets all |V|² pairs; stubs attack too in this figure).
+func (w *Workload) PartitionsByAttackerTier(lp policy.LocalPref) []runner.PartitionFractions {
+	return runner.EvalPartitionsBucketed(w.G, lp, w.MTiered, w.D, w.Workers, asgraph.NumTiers,
+		func(m, d asgraph.AS) int { return int(w.Tiers.TierOf(m)) })
+}
+
+// PartitionsBySourceTier computes E6 (the "figure omitted" analysis of
+// Section 4.7): for each source tier, the average fraction of
+// doomed/immune/protectable sources of that tier.
+func (w *Workload) PartitionsBySourceTier(lp policy.LocalPref) []runner.PartitionFractions {
+	nTiers := asgraph.NumTiers
+	type counts struct {
+		c    [policy.NumModels][core.NumCategories]int64
+		srcs [policy.NumModels]int64
+	}
+	perDest := make([][]counts, len(w.D))
+	runner.ForEachIndex(len(w.D), w.Workers, func() interface{} {
+		return core.NewPartitioner(w.G, lp)
+	}, func(state interface{}, di int) {
+		p := state.(*core.Partitioner)
+		d := w.D[di]
+		bs := make([]counts, nTiers)
+		for _, m := range w.M {
+			if m == d {
+				continue
+			}
+			part := p.Run(d, m)
+			for v := asgraph.AS(0); int(v) < w.G.N(); v++ {
+				if v == d || v == m {
+					continue
+				}
+				b := int(w.Tiers.TierOf(v))
+				for _, model := range policy.Models {
+					bs[b].c[model][part.Cat[model][v]]++
+					bs[b].srcs[model]++
+				}
+			}
+		}
+		perDest[di] = bs
+	})
+	out := make([]runner.PartitionFractions, nTiers)
+	for b := 0; b < nTiers; b++ {
+		var tot counts
+		for _, bs := range perDest {
+			if bs == nil {
+				continue
+			}
+			for _, model := range policy.Models {
+				for cat := 0; cat < core.NumCategories; cat++ {
+					tot.c[model][cat] += bs[b].c[model][cat]
+				}
+				tot.srcs[model] += bs[b].srcs[model]
+			}
+		}
+		for _, model := range policy.Models {
+			if tot.srcs[model] == 0 {
+				continue
+			}
+			for cat := 0; cat < core.NumCategories; cat++ {
+				out[b].Frac[model][cat] = float64(tot.c[model][cat]) / float64(tot.srcs[model])
+			}
+		}
+	}
+	return out
+}
+
+// RolloutPoint is one step of a rollout experiment: the metric delta
+// over the baseline, per model, with and without simplex stubs.
+type RolloutPoint struct {
+	Name        string
+	NonStubs    int
+	SecuredASes int
+	// Delta[model] is H(S) − H(∅) with full S*BGP at stubs;
+	// SimplexDelta[model] with simplex S*BGP at stubs (the error bars
+	// of Figure 7).
+	Delta        [policy.NumModels]runner.Metric
+	SimplexDelta [policy.NumModels]runner.Metric
+}
+
+// Rollout computes E7/E9/E12 (Figures 7(a), 8, 11): the metric
+// improvement at each step of the given rollout, over destinations D
+// (pass w.D for H_{M',V}; the CPs for Figure 8).
+func (w *Workload) Rollout(steps []deploy.Step, D []asgraph.AS, lp policy.LocalPref) []RolloutPoint {
+	base := make([]runner.Metric, policy.NumModels)
+	for _, model := range policy.Models {
+		base[model] = runner.EvalMetric(w.G, model, lp, nil, w.M, D, w.Workers)
+	}
+	out := make([]RolloutPoint, 0, len(steps))
+	for _, step := range steps {
+		pt := RolloutPoint{
+			Name:        step.Name,
+			NonStubs:    step.NonStubCount(w.G),
+			SecuredASes: step.Deployment.SecureCount(),
+		}
+		simplexSpec := step.Spec
+		simplexSpec.SimplexStubs = true
+		simplexDep := deploy.Build(w.G, w.Tiers, simplexSpec)
+		for _, model := range policy.Models {
+			m := runner.EvalMetric(w.G, model, lp, step.Deployment, w.M, D, w.Workers)
+			pt.Delta[model] = m.Delta(base[model])
+			sm := runner.EvalMetric(w.G, model, lp, simplexDep, w.M, D, w.Workers)
+			pt.SimplexDelta[model] = sm.Delta(base[model])
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// SecureDestDeltas computes E8/E10/E11/E13 (Figures 7(b), 9, 10, 12):
+// for each secure destination d ∈ S (sampled up to MaxPerDest), the
+// change H_{M',d}(S) − H_{M',d}(∅), per model, as lower bounds. The
+// returned slices are sorted non-decreasingly, exactly like the figures'
+// destination sequences.
+func (w *Workload) SecureDestDeltas(dep *core.Deployment, lp policy.LocalPref) [policy.NumModels][]float64 {
+	secure := dep.Full.Members()
+	ds, _ := runner.SamplePairs(secure, nil, w.MaxPerDest, 0)
+	var out [policy.NumModels][]float64
+	for _, model := range policy.Models {
+		with := runner.EvalMetricPerDest(w.G, model, lp, dep, w.M, ds, w.Workers)
+		without := runner.EvalMetricPerDest(w.G, model, lp, nil, w.M, ds, w.Workers)
+		deltas := make([]float64, len(ds))
+		for i := range ds {
+			deltas[i] = with[i].Lo - without[i].Lo
+		}
+		sortFloats(deltas)
+		out[model] = deltas
+	}
+	return out
+}
+
+// MeanDelta averages a sorted delta sequence (the aggregate the paper
+// quotes for Section 5.3.1's early-adopter comparisons).
+func MeanDelta(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CPFate computes E15 (Figure 13): for each content-provider
+// destination, the fraction of sources with secure routes under normal
+// conditions and how many of those are lost to downgrades, under the
+// "Tier 1s + CPs + stubs" deployment.
+func (w *Workload) CPFate(model policy.Model, lp policy.LocalPref) ([]asgraph.AS, []rootcause.Accounting) {
+	dep := deploy.Build(w.G, w.Tiers, deploy.Spec{
+		NumTier1: 13, CPs: w.Meta.CPs, IncludeStubs: true,
+	})
+	acc := rootcause.EvaluatePerDest(w.G, model, lp, dep, w.M, w.Meta.CPs, w.Workers)
+	return w.Meta.CPs, acc
+}
+
+// RootCause computes E16 (Figure 16): the metric-change decomposition at
+// the last step of the Tier 1+2 rollout.
+func (w *Workload) RootCause(model policy.Model, lp policy.LocalPref) rootcause.Accounting {
+	steps := deploy.Tier12Rollout(w.G, w.Tiers, false)
+	last := steps[len(steps)-1]
+	return rootcause.Evaluate(w.G, model, lp, last.Deployment, w.M, w.D, w.Workers)
+}
+
+// Phenomena computes E17 (Table 3) on the last Tier 1+2 rollout step.
+func (w *Workload) Phenomena(lp policy.LocalPref) rootcause.Phenomena {
+	steps := deploy.Tier12Rollout(w.G, w.Tiers, false)
+	last := steps[len(steps)-1]
+	return rootcause.DetectPhenomena(w.G, lp, last.Deployment, w.M, w.D, w.Workers)
+}
+
+// EarlyAdopters computes E14 (Section 5.3.1): the average per-secure-
+// destination improvement for the competing early-adopter choices.
+func (w *Workload) EarlyAdopters(lp policy.LocalPref) []EarlyAdopterResult {
+	scenarios := []struct {
+		name string
+		spec deploy.Spec
+	}{
+		{"Tier 1s + stubs", deploy.Spec{NumTier1: 13, IncludeStubs: true}},
+		{"Tier 1s + CPs + stubs", deploy.Spec{NumTier1: 13, CPs: w.Meta.CPs, IncludeStubs: true}},
+		{"13 Tier 2s + stubs", deploy.Spec{NumTier2: 13, IncludeStubs: true}},
+	}
+	var out []EarlyAdopterResult
+	for _, sc := range scenarios {
+		dep := deploy.Build(w.G, w.Tiers, sc.spec)
+		deltas := w.SecureDestDeltas(dep, lp)
+		r := EarlyAdopterResult{Name: sc.name, Secured: dep.SecureCount()}
+		for _, model := range policy.Models {
+			r.MeanDelta[model] = MeanDelta(deltas[model])
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// EarlyAdopterResult is one row of the Section 5.3.1 comparison.
+type EarlyAdopterResult struct {
+	Name      string
+	Secured   int
+	MeanDelta [policy.NumModels]float64
+}
+
+// TierSizes computes E27 (Table 1): the tier census of the workload.
+func (w *Workload) TierSizes() [asgraph.NumTiers]int {
+	var out [asgraph.NumTiers]int
+	for t := 0; t < asgraph.NumTiers; t++ {
+		out[t] = len(w.Tiers.Members[t])
+	}
+	return out
+}
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }

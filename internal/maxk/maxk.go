@@ -1,0 +1,175 @@
+// Package maxk implements the Max-k-Security problem of Section 5.1:
+// given an attacker-destination pair, find a set S of k secure ASes
+// maximizing the number of happy ASes. Theorem 5.1 proves the problem
+// NP-hard in all three routing models via a reduction from Set Cover
+// (Appendix I); this package provides
+//
+//   - an exact solver (exhaustive over candidate subsets — usable on the
+//     small gadget instances and for validating heuristics);
+//   - a greedy heuristic (repeatedly secure the AS with the best
+//     marginal gain);
+//   - the Appendix I reduction gadget builder, used in tests to verify
+//     the equivalence "γ-cover exists ⇔ k-deployment with ℓ happy ASes
+//     exists" end to end.
+package maxk
+
+import (
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+)
+
+// HappyCount returns the number of happy ASes when m attacks d under
+// deployment S, counting — as in Appendix I — the destination itself as
+// happy and using the metric's lower bound (tiebreak-dependent sources
+// count unhappy, matching the gadget's adversarial tiebreak).
+func HappyCount(e *core.Engine, d, m asgraph.AS, s *asgraph.Set) int {
+	o := e.Run(d, m, &core.Deployment{Full: s})
+	lo, _ := o.HappyBounds()
+	return lo + 1
+}
+
+// Exact finds a size-k subset of candidates maximizing HappyCount, by
+// exhaustive search. Its cost is C(len(candidates), k) routing
+// computations: use only on small instances. Ties resolve to the
+// lexicographically first subset, making results deterministic.
+func Exact(g *asgraph.Graph, model policy.Model, d, m asgraph.AS, candidates []asgraph.AS, k int) (*asgraph.Set, int) {
+	e := core.NewEngine(g, model)
+	if k > len(candidates) {
+		k = len(candidates)
+	}
+	best := -1
+	var bestSet *asgraph.Set
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		s := asgraph.NewSet(g.N())
+		for _, i := range idx {
+			s.Add(candidates[i])
+		}
+		if h := HappyCount(e, d, m, s); h > best {
+			best = h
+			bestSet = s
+		}
+		// next combination
+		i := k - 1
+		for i >= 0 && idx[i] == len(candidates)-k+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return bestSet, best
+}
+
+// Greedy builds a size-k deployment by repeatedly adding the candidate
+// AS with the largest marginal increase in HappyCount (ties to the
+// lowest AS index). Greedy is not optimal — Max-k-Security is NP-hard
+// and its objective is not submodular (collateral damages mean marginal
+// gains can be negative) — but it is a useful practical heuristic.
+func Greedy(g *asgraph.Graph, model policy.Model, d, m asgraph.AS, candidates []asgraph.AS, k int) (*asgraph.Set, int) {
+	e := core.NewEngine(g, model)
+	s := asgraph.NewSet(g.N())
+	cur := HappyCount(e, d, m, s)
+	used := make(map[asgraph.AS]bool, k)
+	for round := 0; round < k && round < len(candidates); round++ {
+		bestGain := -1 << 30
+		var bestV asgraph.AS = asgraph.None
+		for _, v := range candidates {
+			if used[v] {
+				continue
+			}
+			s.Add(v)
+			gain := HappyCount(e, d, m, s) - cur
+			s.Remove(v)
+			if gain > bestGain {
+				bestGain = gain
+				bestV = v
+			}
+		}
+		if bestV == asgraph.None {
+			break
+		}
+		s.Add(bestV)
+		used[bestV] = true
+		cur += bestGain
+	}
+	return s, cur
+}
+
+// Gadget is the Appendix I reduction instance: a Set Cover decision
+// problem (universe of n elements, family of subsets, target γ) compiled
+// to a Dkℓ-Security instance.
+type Gadget struct {
+	G        *asgraph.Graph
+	Dst      asgraph.AS
+	Attacker asgraph.AS
+	Elements []asgraph.AS // one per universe element
+	Sets     []asgraph.AS // one per family subset
+	// K and HappyTarget are the derived decision parameters
+	// k = n + γ + 1 and ℓ = n + w + 1.
+	K           int
+	HappyTarget int
+}
+
+// BuildGadget compiles a Set Cover instance. sets[j] lists the universe
+// elements (0-based, < nElements) covered by subset j.
+//
+// The construction follows Figure 18: every element AS is a provider of
+// the attacker (so it perceives the bogus "m, d" announcement as a
+// 2-hop customer route), every set AS is a provider of the destination,
+// and element e is a provider of set s iff e ∈ s (a legitimate 2-hop
+// customer route). The element's tiebreak between the two equally good
+// insecure customer routes is adversarial, which the metric's lower
+// bound captures exactly.
+func BuildGadget(nElements int, sets [][]int, gamma int) *Gadget {
+	w := len(sets)
+	n := 2 + nElements + w // d, m, elements, sets
+	gd := &Gadget{
+		Dst:         0,
+		Attacker:    1,
+		K:           nElements + gamma + 1,
+		HappyTarget: nElements + w + 1,
+	}
+	b := asgraph.NewBuilder(n)
+	for i := 0; i < nElements; i++ {
+		e := asgraph.AS(2 + i)
+		gd.Elements = append(gd.Elements, e)
+		b.AddProviderCustomer(e, gd.Attacker) // element provides m
+	}
+	for j := 0; j < w; j++ {
+		s := asgraph.AS(2 + nElements + j)
+		gd.Sets = append(gd.Sets, s)
+		b.AddProviderCustomer(s, gd.Dst) // set provides d
+		for _, ei := range sets[j] {
+			b.AddProviderCustomer(gd.Elements[ei], s) // element provides set
+		}
+	}
+	gd.G = b.MustBuild()
+	return gd
+}
+
+// Candidates returns the securable ASes of the gadget: everyone except
+// the attacker (securing the attacker is pointless — its announcement is
+// legacy BGP regardless).
+func (gd *Gadget) Candidates() []asgraph.AS {
+	out := []asgraph.AS{gd.Dst}
+	out = append(out, gd.Elements...)
+	out = append(out, gd.Sets...)
+	return out
+}
+
+// Satisfiable reports whether some size-K deployment reaches the happy
+// target under the given model — the Dkℓ-Security decision. By
+// Theorem I.1 this holds iff the Set Cover instance has a γ-cover.
+func (gd *Gadget) Satisfiable(model policy.Model) bool {
+	_, happy := Exact(gd.G, model, gd.Dst, gd.Attacker, gd.Candidates(), gd.K)
+	return happy >= gd.HappyTarget
+}

@@ -1,0 +1,179 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardPlans(t *testing.T) {
+	// The schedules of Appendix B, verbatim.
+	cases := []struct {
+		model Model
+		want  []string
+	}{
+		{Sec3rd, []string{"C", "P", "V"}},
+		{Sec2nd, []string{"Cs", "C", "P", "Vs", "V"}},
+		{Sec1st, []string{"Cs", "Ps", "Vs", "C", "P", "V"}},
+	}
+	for _, c := range cases {
+		p := PlanFor(c.model, Standard)
+		if len(p.Stages) != len(c.want) {
+			t.Fatalf("%v: %d stages, want %d", c.model, len(p.Stages), len(c.want))
+		}
+		for i, st := range p.Stages {
+			if st.String() != c.want[i] {
+				t.Errorf("%v stage %d = %s, want %s", c.model, i, st.String(), c.want[i])
+			}
+		}
+	}
+}
+
+func TestSec2ndPeerStagePrefersSecurityAboveLength(t *testing.T) {
+	p := PlanFor(Sec2nd, Standard)
+	for _, st := range p.Stages {
+		if st.Class == ClassPeer && st.Sec != SecAboveLength {
+			t.Error("security 2nd peer stage must rank SecP above length")
+		}
+	}
+}
+
+func TestLPkPlanInterleaving(t *testing.T) {
+	p := PlanFor(Sec3rd, LP2)
+	want := []string{"C(≤1)", "P(≤1)", "C(≤2)", "P(≤2)", "C", "P", "V"}
+	if len(p.Stages) != len(want) {
+		t.Fatalf("LP2 sec3rd: %d stages, want %d", len(p.Stages), len(want))
+	}
+	for i, st := range p.Stages {
+		if st.String() != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, st.String(), want[i])
+		}
+	}
+}
+
+func TestLPkSecureStagesPrecedeInsecureForSameClass(t *testing.T) {
+	// In the security 1st LPk plan every secure stage must come before
+	// every insecure stage.
+	p := PlanFor(Sec1st, LocalPref{K: 3})
+	lastSecure, firstInsecure := -1, len(p.Stages)
+	for i, st := range p.Stages {
+		if st.SecureOnly && i > lastSecure {
+			lastSecure = i
+		}
+		if !st.SecureOnly && i < firstInsecure {
+			firstInsecure = i
+		}
+	}
+	if lastSecure > firstInsecure {
+		t.Errorf("secure stage at %d after insecure stage at %d", lastSecure, firstInsecure)
+	}
+}
+
+func TestRankClassStandard(t *testing.T) {
+	lp := Standard
+	if lp.RankClass(ClassCustomer, 9) >= lp.RankClass(ClassPeer, 1) {
+		t.Error("standard LP: any customer route must outrank any peer route")
+	}
+	if lp.RankClass(ClassPeer, 9) >= lp.RankClass(ClassProvider, 1) {
+		t.Error("standard LP: any peer route must outrank any provider route")
+	}
+}
+
+func TestRankClassLP2(t *testing.T) {
+	lp := LP2
+	// The Appendix K ordering: c1 < p1 < c2 < p2 < c>2 < p>2 < provider.
+	seq := []struct {
+		c Class
+		l int
+	}{
+		{ClassCustomer, 1}, {ClassPeer, 1},
+		{ClassCustomer, 2}, {ClassPeer, 2},
+		{ClassCustomer, 3}, {ClassPeer, 3},
+		{ClassProvider, 1},
+	}
+	for i := 1; i < len(seq); i++ {
+		prev := lp.RankClass(seq[i-1].c, seq[i-1].l)
+		cur := lp.RankClass(seq[i].c, seq[i].l)
+		if prev >= cur {
+			t.Errorf("LP2 rank(%v,%d)=%d not below rank(%v,%d)=%d",
+				seq[i-1].c, seq[i-1].l, prev, seq[i].c, seq[i].l, cur)
+		}
+	}
+	// All routes longer than K share their class bucket.
+	if lp.RankClass(ClassCustomer, 3) != lp.RankClass(ClassCustomer, 7) {
+		t.Error("LP2: customer routes beyond K must share a bucket")
+	}
+	// Providers are rank-insensitive to length.
+	if lp.RankClass(ClassProvider, 1) != lp.RankClass(ClassProvider, 10) {
+		t.Error("provider rank must ignore length")
+	}
+}
+
+func TestRankClassProperties(t *testing.T) {
+	// For every K, rank is monotone in length within a class and origin
+	// ranks below everything.
+	f := func(k uint8, l1, l2 uint8) bool {
+		lp := LocalPref{K: int(k % 5)}
+		a, b := int(l1%20)+1, int(l2%20)+1
+		if a > b {
+			a, b = b, a
+		}
+		for _, c := range []Class{ClassCustomer, ClassPeer, ClassProvider} {
+			if lp.RankClass(c, a) > lp.RankClass(c, b) {
+				return false
+			}
+			if lp.RankClass(ClassOrigin, 0) >= lp.RankClass(c, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanStagesCoverAllClasses(t *testing.T) {
+	for _, model := range Models {
+		for _, lp := range []LocalPref{Standard, LP2, {K: 4}} {
+			p := PlanFor(model, lp)
+			var sawCust, sawPeer, sawProv, sawUnboundedCust bool
+			for _, st := range p.Stages {
+				switch st.Class {
+				case ClassCustomer:
+					sawCust = true
+					if st.MaxLen == 0 {
+						sawUnboundedCust = true
+					}
+				case ClassPeer:
+					sawPeer = true
+				case ClassProvider:
+					sawProv = true
+					if st.MaxLen != 0 {
+						t.Errorf("%v/%v: provider stage with a length bound", model, lp)
+					}
+				}
+			}
+			if !sawCust || !sawPeer || !sawProv || !sawUnboundedCust {
+				t.Errorf("%v/%v: plan misses a class or has no unbounded customer stage", model, lp)
+			}
+			// The final stage must be an insecure provider stage, or
+			// some AS could end up route-less despite having a route.
+			last := p.Stages[len(p.Stages)-1]
+			if last.Class != ClassProvider || last.SecureOnly {
+				t.Errorf("%v/%v: last stage %v is not the insecure provider stage", model, lp, last)
+			}
+		}
+	}
+}
+
+func TestModelAndClassStrings(t *testing.T) {
+	if Sec1st.String() != "security 1st" || Sec3rd.String() != "security 3rd" {
+		t.Error("model names changed")
+	}
+	if ClassCustomer.String() != "customer" || ClassNone.String() != "none" {
+		t.Error("class names changed")
+	}
+	if Standard.String() != "LP" || LP2.String() != "LP2" {
+		t.Error("local-pref names changed")
+	}
+}

@@ -1,0 +1,192 @@
+// Package rootcause performs the root-cause analysis of Section 6: it
+// decomposes changes in the security metric into the phenomena of
+// Table 3 — protocol downgrades, collateral benefits, collateral damages
+// — plus the fate of secure routes during attacks (lost to downgrade,
+// "wasted" on ASes that were already happy, or actually protective),
+// reproducing the accounting of Figures 13 and 16.
+//
+// All happiness comparisons use the metric's lower bound (tiebreak-
+// dependent ASes counted unhappy), matching the paper's presentation of
+// the root-cause figures.
+package rootcause
+
+import (
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+	"sbgp/internal/runner"
+)
+
+// Accounting aggregates, over a set of attacker-destination pairs, the
+// average fraction of source ASes in each root-cause category. All
+// fields are fractions of source ASes averaged over pairs.
+type Accounting struct {
+	// SecureNormal: sources with a fully secure route under normal
+	// conditions (before any attack).
+	SecureNormal float64
+	// Downgraded: sources whose secure route was lost to a protocol
+	// downgrade attack.
+	Downgraded float64
+	// WastedOnHappy: sources that keep a secure route during the attack
+	// but would have been happy in the baseline (S = ∅) anyway.
+	WastedOnHappy float64
+	// Protected: sources that keep a secure route during the attack and
+	// would have been unhappy in the baseline — the only secure routes
+	// that directly improve the metric.
+	Protected float64
+	// CollateralBenefit: insecure sources unhappy in the baseline but
+	// happy under S (Section 6.1.2).
+	CollateralBenefit float64
+	// CollateralDamage: insecure sources happy in the baseline but
+	// unhappy under S (Section 6.1.1).
+	CollateralDamage float64
+	// MetricChange is H(S) − H(∅) (lower bounds) over the same pairs.
+	MetricChange float64
+	// Pairs is the number of attacker-destination pairs averaged.
+	Pairs int
+}
+
+// Evaluate computes the accounting for one deployment and model over
+// attackers M and destinations D.
+func Evaluate(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *core.Deployment, M, D []asgraph.AS, workers int) Accounting {
+	per := EvaluatePerDest(g, model, lp, dep, M, D, workers)
+	var out Accounting
+	for _, a := range per {
+		out.SecureNormal += a.SecureNormal * float64(a.Pairs)
+		out.Downgraded += a.Downgraded * float64(a.Pairs)
+		out.WastedOnHappy += a.WastedOnHappy * float64(a.Pairs)
+		out.Protected += a.Protected * float64(a.Pairs)
+		out.CollateralBenefit += a.CollateralBenefit * float64(a.Pairs)
+		out.CollateralDamage += a.CollateralDamage * float64(a.Pairs)
+		out.MetricChange += a.MetricChange * float64(a.Pairs)
+		out.Pairs += a.Pairs
+	}
+	if out.Pairs > 0 {
+		f := float64(out.Pairs)
+		out.SecureNormal /= f
+		out.Downgraded /= f
+		out.WastedOnHappy /= f
+		out.Protected /= f
+		out.CollateralBenefit /= f
+		out.CollateralDamage /= f
+		out.MetricChange /= f
+	}
+	return out
+}
+
+// EvaluatePerDest is Evaluate broken down per destination (indexed like
+// D); Figure 13 plots this across the content providers.
+func EvaluatePerDest(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *core.Deployment, M, D []asgraph.AS, workers int) []Accounting {
+	out := make([]Accounting, len(D))
+	type state struct {
+		eng    *core.Engine
+		secN   []bool // secure under normal conditions
+		baseOK []bool // happy (lower bound) in the baseline attack
+	}
+	forEach(g, len(D), workers, func() interface{} {
+		return &state{
+			eng:    core.NewEngineLP(g, model, lp),
+			secN:   make([]bool, g.N()),
+			baseOK: make([]bool, g.N()),
+		}
+	}, func(si interface{}, di int) {
+		st := si.(*state)
+		d := D[di]
+		normal := st.eng.RunNormal(d, dep)
+		copy(st.secN, normal.Secure)
+
+		var acc Accounting
+		sources := float64(g.N() - 2)
+		for _, m := range M {
+			if m == d {
+				continue
+			}
+			base := st.eng.Run(d, m, nil)
+			for v := range st.baseOK {
+				st.baseOK[v] = base.Label[v] == core.LabelDest
+			}
+			attack := st.eng.Run(d, m, dep)
+
+			var sn, dg, wa, pr, cb, cd, happyS, happyBase int
+			for v := asgraph.AS(0); int(v) < g.N(); v++ {
+				if v == d || v == m {
+					continue
+				}
+				happy := attack.Label[v] == core.LabelDest
+				if happy {
+					happyS++
+				}
+				if st.baseOK[v] {
+					happyBase++
+				}
+				if st.secN[v] {
+					sn++
+					switch {
+					case !attack.Secure[v]:
+						dg++
+					case st.baseOK[v]:
+						wa++
+					default:
+						pr++
+					}
+				}
+				if !dep.FullSecure(v) && !dep.OriginSecure(v) {
+					if happy && !st.baseOK[v] {
+						cb++
+					}
+					if !happy && st.baseOK[v] {
+						cd++
+					}
+				}
+			}
+			acc.SecureNormal += float64(sn) / sources
+			acc.Downgraded += float64(dg) / sources
+			acc.WastedOnHappy += float64(wa) / sources
+			acc.Protected += float64(pr) / sources
+			acc.CollateralBenefit += float64(cb) / sources
+			acc.CollateralDamage += float64(cd) / sources
+			acc.MetricChange += float64(happyS-happyBase) / sources
+			acc.Pairs++
+		}
+		if acc.Pairs > 0 {
+			f := float64(acc.Pairs)
+			acc.SecureNormal /= f
+			acc.Downgraded /= f
+			acc.WastedOnHappy /= f
+			acc.Protected /= f
+			acc.CollateralBenefit /= f
+			acc.CollateralDamage /= f
+			acc.MetricChange /= f
+		}
+		out[di] = acc
+	})
+	return out
+}
+
+// Phenomena is the Table 3 presence matrix: which phenomena were
+// actually observed for each security model on a given workload.
+type Phenomena struct {
+	Downgrades        [policy.NumModels]bool
+	CollateralBenefit [policy.NumModels]bool
+	CollateralDamage  [policy.NumModels]bool
+}
+
+// DetectPhenomena evaluates all three models and reports which Table 3
+// phenomena occurred. The paper's matrix predicts: downgrades in 2nd and
+// 3rd only; collateral benefits in all three; collateral damages in 1st
+// and 2nd only.
+func DetectPhenomena(g *asgraph.Graph, lp policy.LocalPref, dep *core.Deployment, M, D []asgraph.AS, workers int) Phenomena {
+	var ph Phenomena
+	for _, model := range policy.Models {
+		a := Evaluate(g, model, lp, dep, M, D, workers)
+		ph.Downgrades[model] = a.Downgraded > 0
+		ph.CollateralBenefit[model] = a.CollateralBenefit > 0
+		ph.CollateralDamage[model] = a.CollateralDamage > 0
+	}
+	return ph
+}
+
+// forEach delegates to the runner's worker pool.
+func forEach(g *asgraph.Graph, n, workers int, mk func() interface{}, fn func(state interface{}, di int)) {
+	runner.ForEachIndex(n, workers, mk, fn)
+}

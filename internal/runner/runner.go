@@ -1,0 +1,243 @@
+// Package runner is the parallel simulation harness (the paper's
+// Appendix B/H parallelization, with goroutines in place of MPI). It
+// executes routing-outcome and partition computations over sets of
+// attacker-destination pairs, destination-major exactly as the paper
+// describes, and aggregates the security metric H_{M,D}(S), its bounds,
+// partition fractions, and per-destination series.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+)
+
+// Workers resolves a worker-count argument: zero or negative means
+// GOMAXPROCS.
+func Workers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// Metric is the security metric H_{M,D}(S) of Section 4.1 with its
+// tiebreak bounds: the average, over all attacker-destination pairs, of
+// the fraction of happy source ASes.
+type Metric struct {
+	Lo, Hi float64
+	Pairs  int
+}
+
+// Delta returns the improvement of m over a baseline metric, as used
+// throughout Section 5 (e.g. H(S) − H(∅)); bounds subtract pointwise.
+func (m Metric) Delta(base Metric) Metric {
+	return Metric{Lo: m.Lo - base.Lo, Hi: m.Hi - base.Hi, Pairs: m.Pairs}
+}
+
+// EvalMetric computes H_{M,D}(S) for the given model, local-preference
+// variant, and deployment, over attackers M and destinations D (pairs
+// with m == d are skipped, matching the metric's definition).
+func EvalMetric(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *core.Deployment, M, D []asgraph.AS, workers int) Metric {
+	per := EvalMetricPerDest(g, model, lp, dep, M, D, workers)
+	var total Metric
+	for _, pm := range per {
+		total.Lo += pm.Lo * float64(pm.Pairs)
+		total.Hi += pm.Hi * float64(pm.Pairs)
+		total.Pairs += pm.Pairs
+	}
+	if total.Pairs > 0 {
+		total.Lo /= float64(total.Pairs)
+		total.Hi /= float64(total.Pairs)
+	}
+	return total
+}
+
+// EvalMetricPerDest computes H_{M,{d}}(S) for every destination d in D,
+// i.e. the per-destination averages plotted in Figures 9, 10, and 12.
+// The result is indexed like D.
+func EvalMetricPerDest(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *core.Deployment, M, D []asgraph.AS, workers int) []Metric {
+	out := make([]Metric, len(D))
+	forEachDest(len(D), workers, func() interface{} {
+		return core.NewEngineLP(g, model, lp)
+	}, func(state interface{}, di int) {
+		e := state.(*core.Engine)
+		d := D[di]
+		var lo, hi, pairs int
+		for _, m := range M {
+			if m == d {
+				continue
+			}
+			o := e.Run(d, m, dep)
+			l, h := o.HappyBounds()
+			lo += l
+			hi += h
+			pairs++
+		}
+		if pairs > 0 {
+			sources := float64(g.N() - 2)
+			out[di] = Metric{
+				Lo:    float64(lo) / (float64(pairs) * sources),
+				Hi:    float64(hi) / (float64(pairs) * sources),
+				Pairs: pairs,
+			}
+		}
+	})
+	return out
+}
+
+// PartitionFractions aggregates doomed/immune/protectable fractions per
+// security model (Figure 3 and its by-tier variants).
+type PartitionFractions struct {
+	// Frac[model][category] is the average fraction of source ASes in
+	// the category.
+	Frac  [policy.NumModels][core.NumCategories]float64
+	Pairs int
+}
+
+// UpperBound returns 1 − doomed fraction: the Section 4.4 upper bound on
+// H for any deployment under the model.
+func (p *PartitionFractions) UpperBound(m policy.Model) float64 {
+	return 1 - p.Frac[m][core.CatDoomed]
+}
+
+// LowerBound returns the immune fraction: the Section 4.3 lower bound on
+// H for any deployment under the model.
+func (p *PartitionFractions) LowerBound(m policy.Model) float64 {
+	return p.Frac[m][core.CatImmune]
+}
+
+// EvalPartitions computes partition fractions averaged over M × D.
+func EvalPartitions(g *asgraph.Graph, lp policy.LocalPref, M, D []asgraph.AS, workers int) PartitionFractions {
+	buckets := EvalPartitionsBucketed(g, lp, M, D, workers, 1, func(m, d asgraph.AS) int { return 0 })
+	return buckets[0]
+}
+
+// EvalPartitionsBucketed computes partition fractions per bucket (e.g.
+// destination tier for Figures 4–5, attacker tier for Figure 6). bucketOf
+// maps a pair to a bucket in [0, nbuckets), or a negative value to skip.
+func EvalPartitionsBucketed(g *asgraph.Graph, lp policy.LocalPref, M, D []asgraph.AS, workers, nbuckets int, bucketOf func(m, d asgraph.AS) int) []PartitionFractions {
+	type counts struct {
+		c     [policy.NumModels][core.NumCategories]int64
+		pairs int
+	}
+	perDest := make([][]counts, len(D))
+	forEachDest(len(D), workers, func() interface{} {
+		return core.NewPartitioner(g, lp)
+	}, func(state interface{}, di int) {
+		p := state.(*core.Partitioner)
+		d := D[di]
+		bs := make([]counts, nbuckets)
+		for _, m := range M {
+			if m == d {
+				continue
+			}
+			b := bucketOf(m, d)
+			if b < 0 {
+				continue
+			}
+			part := p.Run(d, m)
+			for _, model := range policy.Models {
+				im, dm, pr := part.Counts(model)
+				bs[b].c[model][core.CatImmune] += int64(im)
+				bs[b].c[model][core.CatDoomed] += int64(dm)
+				bs[b].c[model][core.CatProtectable] += int64(pr)
+			}
+			bs[b].pairs++
+		}
+		perDest[di] = bs
+	})
+
+	out := make([]PartitionFractions, nbuckets)
+	sources := float64(g.N() - 2)
+	for b := 0; b < nbuckets; b++ {
+		var tot counts
+		for di := range perDest {
+			if perDest[di] == nil {
+				continue
+			}
+			for _, model := range policy.Models {
+				for cat := 0; cat < core.NumCategories; cat++ {
+					tot.c[model][cat] += perDest[di][b].c[model][cat]
+				}
+			}
+			tot.pairs += perDest[di][b].pairs
+		}
+		out[b].Pairs = tot.pairs
+		if tot.pairs == 0 {
+			continue
+		}
+		for _, model := range policy.Models {
+			for cat := 0; cat < core.NumCategories; cat++ {
+				out[b].Frac[model][cat] = float64(tot.c[model][cat]) / (float64(tot.pairs) * sources)
+			}
+		}
+	}
+	return out
+}
+
+// ForEachIndex fans indices 0..n-1 out to a worker pool; stateFactory
+// builds one reusable per-worker state (an engine or partitioner, which
+// are not goroutine-safe). Exposed for sibling packages that aggregate
+// custom statistics over destinations.
+func ForEachIndex(n, workers int, stateFactory func() interface{}, fn func(state interface{}, di int)) {
+	forEachDest(n, workers, stateFactory, fn)
+}
+
+// forEachDest fans destination indices out to a worker pool;
+// stateFactory builds one reusable per-worker state (an engine or
+// partitioner, which are not goroutine-safe).
+func forEachDest(n, workers int, stateFactory func() interface{}, fn func(state interface{}, di int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		state := stateFactory()
+		for di := 0; di < n; di++ {
+			fn(state, di)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := stateFactory()
+			for di := range next {
+				fn(state, di)
+			}
+		}()
+	}
+	for di := 0; di < n; di++ {
+		next <- di
+	}
+	close(next)
+	wg.Wait()
+}
+
+// SamplePairs deterministically samples up to maxM attackers and maxD
+// destinations from the given candidate sets, using a fixed stride so
+// results are reproducible without materializing a PRNG. Pass
+// maxM/maxD ≤ 0 to keep the whole set. It is the stand-in for the
+// paper's full |V|² enumeration on BlueGene (Appendix H).
+func SamplePairs(M, D []asgraph.AS, maxM, maxD int) (ms, ds []asgraph.AS) {
+	return sampleStride(M, maxM), sampleStride(D, maxD)
+}
+
+func sampleStride(xs []asgraph.AS, max int) []asgraph.AS {
+	if max <= 0 || len(xs) <= max {
+		return xs
+	}
+	out := make([]asgraph.AS, 0, max)
+	stride := float64(len(xs)) / float64(max)
+	for i := 0; i < max; i++ {
+		out = append(out, xs[int(float64(i)*stride)])
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+	"sbgp/internal/topogen"
+)
+
+func chain(n int) *asgraph.Graph {
+	b := asgraph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddProviderCustomer(asgraph.AS(i-1), asgraph.AS(i))
+	}
+	return b.MustBuild()
+}
+
+func TestEvalMetricHandComputed(t *testing.T) {
+	g := chain(5)
+	// Attacker 4 at the bottom of the chain, destination 0 at the top:
+	// the bogus route climbs as a customer route and every source
+	// prefers it (H = 0). Reversed (d=4, m=0) the bogus route descends
+	// as a provider route and loses everywhere (H = 1).
+	for _, model := range policy.Models {
+		m0 := EvalMetric(g, model, policy.Standard, nil, []asgraph.AS{4}, []asgraph.AS{0}, 1)
+		if m0.Lo != 0 || m0.Hi != 0 || m0.Pairs != 1 {
+			t.Errorf("%v: H for (m=4,d=0) = [%v,%v], want 0", model, m0.Lo, m0.Hi)
+		}
+		m1 := EvalMetric(g, model, policy.Standard, nil, []asgraph.AS{0}, []asgraph.AS{4}, 1)
+		if m1.Lo != 1 || m1.Hi != 1 {
+			t.Errorf("%v: H for (m=0,d=4) = [%v,%v], want 1", model, m1.Lo, m1.Hi)
+		}
+	}
+}
+
+func TestEvalMetricSkipsSelfPairs(t *testing.T) {
+	g := chain(4)
+	M := []asgraph.AS{0, 1}
+	D := []asgraph.AS{0}
+	m := EvalMetric(g, policy.Sec3rd, policy.Standard, nil, M, D, 1)
+	if m.Pairs != 1 {
+		t.Errorf("pairs = %d, want 1 (m=d skipped)", m.Pairs)
+	}
+}
+
+func TestEvalMetricParallelMatchesSerial(t *testing.T) {
+	g, meta := topogen.MustGenerate(topogen.Params{N: 400, Seed: 12})
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	_ = tiers
+	M, D := SamplePairs(asgraph.NonStubs(g), allASes(g), 10, 12)
+	dep := &core.Deployment{Full: asgraph.SetOf(g.N(), asgraph.NonStubs(g)...)}
+	for _, model := range policy.Models {
+		serial := EvalMetric(g, model, policy.Standard, dep, M, D, 1)
+		parallel := EvalMetric(g, model, policy.Standard, dep, M, D, 8)
+		if math.Abs(serial.Lo-parallel.Lo) > 1e-12 || math.Abs(serial.Hi-parallel.Hi) > 1e-12 {
+			t.Errorf("%v: parallel metric differs from serial: %+v vs %+v", model, parallel, serial)
+		}
+	}
+}
+
+func TestEvalMetricPerDestAggregation(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 300, Seed: 2})
+	M, D := SamplePairs(asgraph.NonStubs(g), allASes(g), 8, 10)
+	per := EvalMetricPerDest(g, policy.Sec3rd, policy.Standard, nil, M, D, 4)
+	if len(per) != len(D) {
+		t.Fatalf("per-dest results: %d, want %d", len(per), len(D))
+	}
+	var lo float64
+	pairs := 0
+	for _, pm := range per {
+		lo += pm.Lo * float64(pm.Pairs)
+		pairs += pm.Pairs
+	}
+	total := EvalMetric(g, policy.Sec3rd, policy.Standard, nil, M, D, 4)
+	if math.Abs(total.Lo-lo/float64(pairs)) > 1e-12 {
+		t.Errorf("per-dest aggregation %v != total %v", lo/float64(pairs), total.Lo)
+	}
+}
+
+func TestEvalPartitionsFractionsSumToOne(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 300, Seed: 8})
+	M, D := SamplePairs(asgraph.NonStubs(g), allASes(g), 6, 8)
+	pf := EvalPartitions(g, policy.Standard, M, D, 4)
+	for _, model := range policy.Models {
+		sum := 0.0
+		for cat := 0; cat < core.NumCategories; cat++ {
+			sum += pf.Frac[model][cat]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%v: partition fractions sum to %v", model, sum)
+		}
+		if pf.UpperBound(model) < pf.LowerBound(model) {
+			t.Errorf("%v: upper bound below lower bound", model)
+		}
+	}
+	// Security 1st must dominate: it has the fewest doomed ASes.
+	if pf.Frac[policy.Sec1st][core.CatDoomed] > pf.Frac[policy.Sec2nd][core.CatDoomed]+1e-9 ||
+		pf.Frac[policy.Sec2nd][core.CatDoomed] > pf.Frac[policy.Sec3rd][core.CatDoomed]+1e-9 {
+		t.Error("doomed fractions should weakly increase from sec 1st to sec 3rd")
+	}
+}
+
+func TestEvalPartitionsBucketed(t *testing.T) {
+	g, meta := topogen.MustGenerate(topogen.Params{N: 300, Seed: 8})
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	M, D := SamplePairs(asgraph.NonStubs(g), allASes(g), 6, 10)
+	buckets := EvalPartitionsBucketed(g, policy.Standard, M, D, 4, asgraph.NumTiers,
+		func(m, d asgraph.AS) int { return int(tiers.TierOf(d)) })
+	totalPairs := 0
+	for _, b := range buckets {
+		totalPairs += b.Pairs
+	}
+	want := 0
+	for _, d := range D {
+		for _, m := range M {
+			if m != d {
+				want++
+			}
+		}
+	}
+	if totalPairs != want {
+		t.Errorf("bucketed pairs = %d, want %d", totalPairs, want)
+	}
+}
+
+func TestSamplePairs(t *testing.T) {
+	xs := make([]asgraph.AS, 100)
+	for i := range xs {
+		xs[i] = asgraph.AS(i)
+	}
+	ms, ds := SamplePairs(xs, xs, 10, 0)
+	if len(ms) != 10 {
+		t.Errorf("sampled %d attackers, want 10", len(ms))
+	}
+	if len(ds) != 100 {
+		t.Errorf("maxD=0 must keep all destinations, got %d", len(ds))
+	}
+	seen := map[asgraph.AS]bool{}
+	for _, v := range ms {
+		if seen[v] {
+			t.Error("duplicate sample")
+		}
+		seen[v] = true
+	}
+	// Deterministic.
+	ms2, _ := SamplePairs(xs, xs, 10, 0)
+	for i := range ms {
+		if ms[i] != ms2[i] {
+			t.Error("sampling not deterministic")
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("Workers must default to at least 1")
+	}
+	if Workers(5) != 5 {
+		t.Error("explicit worker count ignored")
+	}
+}
+
+func allASes(g *asgraph.Graph) []asgraph.AS {
+	out := make([]asgraph.AS, g.N())
+	for i := range out {
+		out[i] = asgraph.AS(i)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package topogen
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+)
+
+func TestGenerateShape(t *testing.T) {
+	g, meta, err := Generate(Params{N: 3000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3000 {
+		t.Fatalf("N = %d, want 3000", g.N())
+	}
+	if err := asgraph.Validate(g); err != nil {
+		t.Fatalf("generated graph invalid: %v", err)
+	}
+	if !asgraph.Connected(g) {
+		t.Fatal("generated graph disconnected")
+	}
+
+	// Tier 1 clique: exactly NumTier1 provider-free transit ASes, all
+	// mutually peered.
+	var t1 []asgraph.AS
+	for v := asgraph.AS(0); int(v) < g.N(); v++ {
+		if g.ProviderDegree(v) == 0 && g.CustomerDegree(v) > 0 {
+			t1 = append(t1, v)
+		}
+	}
+	if len(t1) != 13 {
+		t.Fatalf("%d provider-free transit ASes, want 13", len(t1))
+	}
+	for i := range t1 {
+		for j := i + 1; j < len(t1); j++ {
+			if g.Rel(t1[i], t1[j]) != asgraph.RelPeer {
+				t.Errorf("Tier 1s %d and %d not peered", t1[i], t1[j])
+			}
+		}
+	}
+
+	// Stub share near the UCLA value (85%): generous tolerance.
+	stubs := 0
+	for v := asgraph.AS(0); int(v) < g.N(); v++ {
+		if g.IsAnyStub(v) {
+			stubs++
+		}
+	}
+	frac := float64(stubs) / float64(g.N())
+	if frac < 0.75 || frac > 0.92 {
+		t.Errorf("stub fraction = %.2f, want ≈0.85", frac)
+	}
+
+	// Peer/customer edge ratio near 0.85.
+	ratio := float64(g.NumPeerLinks()) / float64(g.NumCustomerProviderLinks())
+	if ratio < 0.6 || ratio > 1.0 {
+		t.Errorf("peer/c2p ratio = %.2f, want ≈0.85", ratio)
+	}
+
+	// CPs: designated, no customers, several providers, heavy peering.
+	if len(meta.CPs) != 17 {
+		t.Fatalf("%d CPs, want 17", len(meta.CPs))
+	}
+	for _, cp := range meta.CPs {
+		if g.CustomerDegree(cp) != 0 {
+			t.Errorf("CP %d has customers", cp)
+		}
+		if g.ProviderDegree(cp) < 2 {
+			t.Errorf("CP %d has %d providers, want ≥2", cp, g.ProviderDegree(cp))
+		}
+		if g.PeerDegree(cp) < 5 {
+			t.Errorf("CP %d has peer degree %d, want high", cp, g.PeerDegree(cp))
+		}
+	}
+
+	// Mean providers per non-Tier-1 AS near the configured 1.9.
+	mean := float64(g.NumCustomerProviderLinks()) / float64(g.N()-len(t1))
+	if mean < 1.4 || mean > 2.4 {
+		t.Errorf("mean providers = %.2f, want ≈1.9", mean)
+	}
+
+	if len(meta.IXPs) == 0 {
+		t.Error("no IXPs generated")
+	}
+	for _, members := range meta.IXPs {
+		if len(members) < 2 {
+			t.Error("IXP with fewer than 2 members")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Params{N: 500, Seed: 9}
+	g1, m1, _ := Generate(p)
+	g2, m2, _ := Generate(p)
+	if g1.NumCustomerProviderLinks() != g2.NumCustomerProviderLinks() ||
+		g1.NumPeerLinks() != g2.NumPeerLinks() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for v := asgraph.AS(0); int(v) < g1.N(); v++ {
+		for _, u := range g1.Customers(v) {
+			if g2.Rel(v, u) != asgraph.RelCustomer {
+				t.Fatalf("same seed produced different edges at AS %d", v)
+			}
+		}
+	}
+	if len(m1.IXPs) != len(m2.IXPs) {
+		t.Fatal("same seed produced different IXPs")
+	}
+	g3, _, _ := Generate(Params{N: 500, Seed: 10})
+	if g3.NumPeerLinks() == g1.NumPeerLinks() && g3.NumCustomerProviderLinks() == g1.NumCustomerProviderLinks() {
+		t.Log("different seeds produced identical edge counts (possible but suspicious)")
+	}
+}
+
+func TestGenerateRejectsTinyN(t *testing.T) {
+	if _, _, err := Generate(Params{N: 20}); err == nil {
+		t.Error("Generate accepted N too small for the Tier-1 clique and CPs")
+	}
+}
+
+func TestGenerateSmallGraphsAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g, _, err := Generate(Params{N: 120, Seed: seed, TransitFrac: 0.3, NumCPs: 3, NumIXPs: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := asgraph.Validate(g); err != nil {
+			t.Fatalf("seed %d: invalid graph: %v", seed, err)
+		}
+		if !asgraph.Connected(g) {
+			t.Fatalf("seed %d: disconnected graph", seed)
+		}
+	}
+}
+
+func TestIXPAugmentationGrowsPeering(t *testing.T) {
+	g, meta, _ := Generate(Params{N: 1000, Seed: 3})
+	aug, added := asgraph.AugmentIXP(g, meta.IXPs)
+	if added <= 0 {
+		t.Fatal("IXP augmentation added no edges")
+	}
+	if aug.NumPeerLinks() != g.NumPeerLinks()+added {
+		t.Errorf("peer links %d, want %d", aug.NumPeerLinks(), g.NumPeerLinks()+added)
+	}
+	if aug.NumCustomerProviderLinks() != g.NumCustomerProviderLinks() {
+		t.Error("augmentation changed customer-provider links")
+	}
+}
