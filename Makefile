@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke fmt-check vet ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/sweep/...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the full benchmark suite at measurement scale.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-smoke is the CI smoke run: every benchmark once, results
+# captured as BENCH_<date>.{txt,json}.
+bench-smoke:
+	./scripts/bench.sh
+
+# ci mirrors the blocking jobs of .github/workflows/ci.yml.
+ci: fmt-check vet build test race

@@ -449,6 +449,20 @@ func BenchmarkAblationEngineVsMessageSim(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepGrid measures the headline (model × deployment) sweep
+// grid — baseline plus the named rollout endpoints for all three
+// models — evaluated in one parallel pass on the benchmark workload.
+func BenchmarkSweepGrid(b *testing.B) {
+	w := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := w.BaselineGrid(policy.Standard)
+		if len(res.Cells) != 4*policy.NumModels {
+			b.Fatalf("grid has %d cells", len(res.Cells))
+		}
+	}
+}
+
 // BenchmarkAblationParallelism compares the harness at 1 worker vs all
 // cores on the benchmark workload.
 func BenchmarkAblationParallelism(b *testing.B) {

@@ -4,9 +4,15 @@
 // attacker-destination pair — a microscope for a single cell of the
 // paper's aggregate figures.
 //
-// Example:
+// With -sweep it instead evaluates the full (model × deployment ×
+// attacker × destination) grid via internal/sweep — every security
+// model against the chosen deployment and the baseline, over sampled
+// pairs — and prints the grid as JSON.
+//
+// Examples:
 //
 //	bgpsim -n 4000 -d 17 -m 212 -model 2 -deploy t1t2
+//	bgpsim -n 4000 -deploy t1t2 -sweep -maxm 24 -maxd 32
 package main
 
 import (
@@ -19,6 +25,8 @@ import (
 	"sbgp/internal/core"
 	"sbgp/internal/deploy"
 	"sbgp/internal/policy"
+	"sbgp/internal/runner"
+	"sbgp/internal/sweep"
 	"sbgp/internal/topogen"
 )
 
@@ -34,6 +42,10 @@ func main() {
 	lpk := flag.Int("lpk", 0, "LPk local-preference variant (0 = standard)")
 	deployFlag := flag.String("deploy", "none", "deployment: none|t1t2|t1t2cp|t2|nonstubs")
 	showPath := flag.Int("path", -1, "print the route of this AS")
+	sweepFlag := flag.Bool("sweep", false, "evaluate the full model/deployment grid and print JSON")
+	maxM := flag.Int("maxm", 24, "attacker sample size (with -sweep)")
+	maxD := flag.Int("maxd", 32, "destination sample size (with -sweep)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; with -sweep)")
 	flag.Parse()
 
 	var g *asgraph.Graph
@@ -87,6 +99,41 @@ func main() {
 		dep = deploy.Build(g, tiers, deploy.Spec{AllNonStubs: true})
 	default:
 		log.Fatalf("unknown deployment %q", *deployFlag)
+	}
+
+	if *sweepFlag {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "d", "m", "model", "path":
+				log.Fatalf("-%s selects a single scenario and conflicts with -sweep", f.Name)
+			}
+		})
+		all := make([]asgraph.AS, g.N())
+		for i := range all {
+			all[i] = asgraph.AS(i)
+		}
+		M, D := runner.SamplePairs(asgraph.NonStubs(g), all, *maxM, *maxD)
+		grid := &sweep.Grid{
+			LP: lp,
+			Deployments: []sweep.Deployment{
+				{Name: "baseline"},
+				{Name: *deployFlag, Dep: dep},
+			},
+			Attackers:    M,
+			Destinations: D,
+			Workers:      *workers,
+		}
+		if *deployFlag == "none" {
+			grid.Deployments = grid.Deployments[:1]
+		}
+		res, err := grid.Evaluate(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	d := asgraph.AS(*dst)

@@ -6,9 +6,12 @@
 // Usage:
 //
 //	experiments [-n 4000] [-seed 1] [-maxm 24] [-maxd 32] [-perdest 200]
-//	            [-workers 0] [-quick] [-skip-ixp]
+//	            [-workers 0] [-quick] [-skip-ixp] [-json grid.json]
 //
-// -quick shrinks everything for a fast smoke run.
+// -quick shrinks everything for a fast smoke run. -json additionally
+// writes the headline (model × deployment) sweep grid as a JSON
+// artifact; the grid is evaluated by internal/sweep, so the file is
+// byte-identical at any worker count.
 package main
 
 import (
@@ -33,6 +36,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	quick := flag.Bool("quick", false, "tiny smoke-run configuration")
 	skipIXP := flag.Bool("skip-ixp", false, "skip the Appendix J IXP-augmented rerun")
+	jsonPath := flag.String("json", "", "also write the headline sweep grid to this file")
 	flag.Parse()
 
 	cfg := exp.Config{N: *n, Seed: *seed, MaxM: *maxM, MaxD: *maxD, MaxPerDest: *perDest, Workers: *workers}
@@ -45,6 +49,24 @@ func main() {
 		w.G.N(), w.G.NumCustomerProviderLinks(), w.G.NumPeerLinks(), len(w.M), len(w.D))
 
 	lp := policy.Standard
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		res := w.BaselineGrid(lp)
+		if err := res.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d-cell sweep grid to %s\n", len(res.Cells), *jsonPath)
+	}
 	report(os.Stdout, w, lp, !*skipIXP, cfg)
 }
 

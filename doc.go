@@ -21,10 +21,15 @@
 //	internal/deploy    partial-deployment scenario builders
 //	internal/maxk      Max-k-Security (NP-hardness gadget, exact, greedy)
 //	internal/rootcause collateral benefit/damage and downgrade accounting
-//	internal/runner    parallel experiment harness
+//	internal/runner    parallel experiment harness (chunked worker pool)
+//	internal/sweep     declarative (model × deployment × attacker ×
+//	                   destination) grid evaluation with deterministic
+//	                   aggregation and JSON output
 //	internal/exp       one experiment per paper table/figure
 //
 // The benchmarks in this directory regenerate every evaluation artifact;
 // see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
-// results.
+// results. Run `make ci` for the checks CI enforces (gofmt, vet, build,
+// test, race) and `scripts/bench.sh` to capture a BENCH_<date>.json
+// benchmark snapshot.
 package sbgp

@@ -10,6 +10,20 @@ import (
 // its graph, so a single Engine is cheap to reuse across many
 // (attacker, destination, deployment) triples but must not be shared
 // between goroutines; the parallel harness gives each worker its own.
+//
+// Two properties make the per-run hot path cheap:
+//
+//   - Epoch reset: between runs the engine rolls back only the entries
+//     the previous run fixed (its fixedList) instead of wiping all n
+//     entries, so the reset is O(touched), and per-stage scratch is
+//     invalidated by bumping a generation stamp instead of clearing.
+//
+//   - One-pass candidate accumulation: when an AS is fixed, it offers
+//     its route to its still-unfixed neighbors, and each offer is merged
+//     immediately into a per-AS accumulator (minimal length, merged
+//     happiness label, lowest next hop, secure subset). Fixing an AS
+//     reads its accumulator instead of re-scanning its in-neighbors, so
+//     each directed edge is visited once per stage rather than twice.
 type Engine struct {
 	g    *asgraph.Graph
 	plan policy.Plan
@@ -17,6 +31,10 @@ type Engine struct {
 	// resolve selects fully deterministic tiebreaking (lowest next-hop
 	// AS index) instead of the three-valued bound labels.
 	resolve bool
+	// fullClear restores the original O(n) wipe-everything reset; kept
+	// as the reference semantics for equivalence tests and benchmark
+	// baselines.
+	fullClear bool
 
 	out Outcome
 
@@ -24,8 +42,34 @@ type Engine struct {
 	buckets   [][]asgraph.AS
 	touched   []asgraph.AS // peer-stage work list
 	inTouch   []bool
-	cvia      []asgraph.AS // candidate gather scratch
-	clen      []int32
+
+	// off[u] accumulates the candidate routes offered to u during the
+	// current stage; stageEpoch validates entries so starting a stage
+	// costs O(1) instead of O(n).
+	off        []offerAcc
+	stageEpoch uint32
+}
+
+// offerAcc is the per-AS candidate accumulator for one stage. The
+// "group" fields describe the candidates at the minimal offered length
+// (the set the old per-pop gather used to rebuild); the "any" fields
+// track the minimal-length *secure* candidate at any length, needed only
+// by peer stages under SecAboveLength, where a longer secure route beats
+// a shorter insecure one.
+type offerAcc struct {
+	ep      uint32     // valid iff ep == engine.stageEpoch
+	len     int32      // minimal offered route length
+	next    asgraph.AS // lowest-indexed candidate at len
+	secNext asgraph.AS // lowest-indexed secure candidate at len
+
+	anyEp   uint32     // valid iff anyEp == engine.stageEpoch
+	anyLen  int32      // minimal length among secure candidates
+	anyNext asgraph.AS // lowest-indexed secure candidate at anyLen
+
+	label    Label // merged label of the group at len
+	secLabel Label // merged label of the secure sub-group at len
+	anyLabel Label // merged label of the secure group at anyLen
+	secHas   bool  // a secure candidate exists at len
 }
 
 // Option configures an Engine.
@@ -37,6 +81,15 @@ type Option func(*Engine)
 // message-level simulator and for concrete example walk-throughs.
 func WithResolvedTiebreak() Option {
 	return func(e *Engine) { e.resolve = true }
+}
+
+// WithFullClearReset makes the engine wipe all n outcome entries before
+// every run instead of rolling back only the entries the previous run
+// fixed. The two resets are semantically identical; this option is the
+// reference implementation used by the equivalence tests and the
+// benchmark baseline.
+func WithFullClearReset() Option {
+	return func(e *Engine) { e.fullClear = true }
 }
 
 // NewEngine returns an engine for the given graph and security model
@@ -60,10 +113,12 @@ func NewEngineLP(g *asgraph.Graph, m policy.Model, lp policy.LocalPref, opts ...
 			Next:   make([]asgraph.AS, n),
 		},
 		inTouch: make([]bool, n),
+		off:     make([]offerAcc, n),
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	e.resetAll()
 	return e
 }
 
@@ -90,12 +145,10 @@ func (e *Engine) Run(d, m asgraph.AS, dep *Deployment) *Outcome {
 	}
 	o := &e.out
 	o.Dst, o.Attacker = d, m
-	for i := range o.Class {
-		o.Class[i] = policy.ClassNone
-		o.Len[i] = 0
-		o.Secure[i] = false
-		o.Label[i] = LabelNone
-		o.Next[i] = asgraph.None
+	if e.fullClear {
+		e.resetAll()
+	} else {
+		e.rollback()
 	}
 	e.fixedList = e.fixedList[:0]
 
@@ -120,6 +173,56 @@ func (e *Engine) Run(d, m asgraph.AS, dep *Deployment) *Outcome {
 		}
 	}
 	return o
+}
+
+// resetAll installs the cleared no-route state in every entry. It runs
+// once at construction; after that, rollback keeps the invariant that
+// entries outside fixedList are already clear.
+func (e *Engine) resetAll() {
+	o := &e.out
+	for i := range o.Class {
+		o.Class[i] = policy.ClassNone
+		o.Len[i] = 0
+		o.Secure[i] = false
+		o.Label[i] = LabelNone
+		o.Next[i] = asgraph.None
+	}
+}
+
+// rollback undoes the previous run's writes. Only fixRoot,
+// fixFromOffer, and fixPeerFromOffer write outcome entries, and all
+// three record the AS in fixedList, so restoring those entries
+// recreates the cleared state exactly, in O(touched) time. When the previous run touched most of
+// the graph, the scattered per-entry writes cost more than a sequential
+// wipe, so the reset adaptively falls back to resetAll there — the cost
+// is O(min(touched, n)) with the better constant on both ends.
+func (e *Engine) rollback() {
+	if 4*len(e.fixedList) >= len(e.out.Class) {
+		e.resetAll()
+		return
+	}
+	o := &e.out
+	for _, v := range e.fixedList {
+		o.Class[v] = policy.ClassNone
+		o.Len[v] = 0
+		o.Secure[v] = false
+		o.Label[v] = LabelNone
+		o.Next[v] = asgraph.None
+	}
+}
+
+// bumpStageEpoch advances the offer-accumulator generation, clearing the
+// stamps on the (rare) wraparound so a stale stamp can never alias the
+// live epoch.
+func (e *Engine) bumpStageEpoch() {
+	e.stageEpoch++
+	if e.stageEpoch == 0 {
+		for i := range e.off {
+			e.off[i].ep = 0
+			e.off[i].anyEp = 0
+		}
+		e.stageEpoch = 1
+	}
 }
 
 func (e *Engine) fixRoot(v asgraph.AS, length int32, secure bool, label Label) {
@@ -160,6 +263,139 @@ func (e *Engine) admissible(st policy.Stage, u, w asgraph.AS, dep *Deployment) b
 	return true
 }
 
+// tryOffer merges the admissible candidate route via w into u's
+// accumulator for the current stage. It reports whether u's minimal
+// offered length changed (first offer, or an improvement), in which case
+// the caller must (re)queue u.
+func (e *Engine) tryOffer(u, w asgraph.AS, st policy.Stage, dep *Deployment) bool {
+	o := &e.out
+	acc := &e.off[u]
+	l := o.Len[w] + 1
+	lbl := o.Label[w]
+	var sec bool
+	if st.SecureOnly || st.Sec != policy.SecIgnore {
+		sec = e.candidateSecure(u, w, dep)
+	}
+	requeue := acc.ep != e.stageEpoch || l < acc.len
+	switch {
+	case requeue:
+		acc.ep = e.stageEpoch
+		acc.len = l
+		acc.next = w
+		acc.label = lbl
+		acc.secHas = sec
+		acc.secNext = w
+		acc.secLabel = lbl
+	case l == acc.len:
+		if w < acc.next {
+			acc.next = w
+			if e.resolve {
+				acc.label = lbl
+			}
+		}
+		if !e.resolve && lbl != acc.label {
+			acc.label = LabelAmbig
+		}
+		if sec {
+			switch {
+			case !acc.secHas:
+				acc.secHas = true
+				acc.secNext = w
+				acc.secLabel = lbl
+			default:
+				if w < acc.secNext {
+					acc.secNext = w
+					if e.resolve {
+						acc.secLabel = lbl
+					}
+				}
+				if !e.resolve && lbl != acc.secLabel {
+					acc.secLabel = LabelAmbig
+				}
+			}
+		}
+	}
+	// Cross-length secure pool, consulted only by SecAboveLength peer
+	// stages (a secure route beats any shorter insecure one there).
+	if sec && st.Sec == policy.SecAboveLength {
+		switch {
+		case acc.anyEp != e.stageEpoch || l < acc.anyLen:
+			acc.anyEp = e.stageEpoch
+			acc.anyLen = l
+			acc.anyNext = w
+			acc.anyLabel = lbl
+		case l == acc.anyLen:
+			if w < acc.anyNext {
+				acc.anyNext = w
+				if e.resolve {
+					acc.anyLabel = lbl
+				}
+			}
+			if !e.resolve && lbl != acc.anyLabel {
+				acc.anyLabel = LabelAmbig
+			}
+		}
+	}
+	return requeue
+}
+
+// fixFromOffer fixes u's route from its accumulated candidates, applying
+// the stage's security preference (the SecP step) among the
+// minimal-length group. Tree stages fix at the first bucket level with
+// any candidate, so only the group fields are consulted.
+func (e *Engine) fixFromOffer(u asgraph.AS, class policy.Class, st policy.Stage, dep *Deployment) {
+	acc := &e.off[u]
+	full := dep.FullSecure(u)
+	length, next, label := acc.len, acc.next, acc.label
+	secureChoice := st.SecureOnly
+	if !st.SecureOnly && full && st.Sec != policy.SecIgnore && acc.secHas {
+		// Among equally good candidates, a full adopter prefers the
+		// secure ones (SecP before TB).
+		secureChoice = true
+		next = acc.secNext
+		label = acc.secLabel
+	}
+	o := &e.out
+	o.Class[u] = class
+	o.Len[u] = length
+	o.Secure[u] = secureChoice && full
+	o.Label[u] = label
+	o.Next[u] = next
+	e.fixedList = append(e.fixedList, u)
+}
+
+// fixPeerFromOffer fixes u's peer route. Peer candidates vary in length,
+// so under SecAboveLength a full adopter first restricts to the secure
+// pool (at any length) before minimizing length; the other placements
+// reduce to the same minimal-length group preference as tree stages.
+func (e *Engine) fixPeerFromOffer(u asgraph.AS, st policy.Stage, dep *Deployment) {
+	acc := &e.off[u]
+	full := dep.FullSecure(u)
+	var (
+		length       int32
+		next         asgraph.AS
+		label        Label
+		secureChoice bool
+	)
+	switch {
+	case st.SecureOnly:
+		length, next, label, secureChoice = acc.len, acc.next, acc.label, true
+	case full && st.Sec == policy.SecAboveLength && acc.anyEp == e.stageEpoch:
+		length, next, label, secureChoice = acc.anyLen, acc.anyNext, acc.anyLabel, true
+	case full && st.Sec != policy.SecIgnore && acc.secHas:
+		length, next, label, secureChoice = acc.len, acc.secNext, acc.secLabel, true
+	default:
+		length, next, label = acc.len, acc.next, acc.label
+	}
+	o := &e.out
+	o.Class[u] = policy.ClassPeer
+	o.Len[u] = length
+	o.Secure[u] = secureChoice && full
+	o.Label[u] = label
+	o.Next[u] = next
+	e.fixedList = append(e.fixedList, u)
+}
+
 // runTreeStage executes a customer-route stage (up == true: BFS upward
 // along customer→provider edges; the FCR/FSCR subroutines) or a
 // provider-route stage (up == false: BFS downward along
@@ -167,7 +403,11 @@ func (e *Engine) admissible(st policy.Stage, u, w asgraph.AS, dep *Deployment) b
 // route length using a bucket queue, which implements the paper's
 // "select the AS with the shortest route" iteration exactly.
 func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
+	if len(e.fixedList) == e.g.N() {
+		return // every AS already has a route; nothing left to fix
+	}
 	o := &e.out
+	e.bumpStageEpoch()
 	maxLevel := 0
 	push := func(u asgraph.AS, level int32) {
 		l := int(level)
@@ -179,7 +419,13 @@ func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
 			maxLevel = l
 		}
 	}
+	// trigger offers w's freshly fixed route to w's still-unfixed
+	// out-neighbors; tryOffer queues a neighbor only when its minimal
+	// offered length changes, so duplicate bucket entries are rare.
 	trigger := func(w asgraph.AS) {
+		if st.SecureOnly && !o.Secure[w] {
+			return // an insecure route cannot seed a fully secure one
+		}
 		var outNbrs []asgraph.AS
 		if up {
 			if !e.exportsWide(w) {
@@ -190,48 +436,63 @@ func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
 			outNbrs = e.g.Customers(w)
 		}
 		for _, u := range outNbrs {
-			if !e.fixed(u) && e.admissible(st, u, w, dep) {
+			if !e.fixed(u) && e.admissible(st, u, w, dep) && e.tryOffer(u, w, st, dep) {
 				push(u, o.Len[w]+1)
 			}
 		}
 	}
-	for _, w := range e.fixedList {
-		trigger(w)
+	// Seed the bucket queue. Direction-optimized like a bottom-up BFS:
+	// early stages have few fixed ASes, so scanning their out-edges is
+	// cheap; late stages have few *unfixed* ASes, so scanning only those
+	// ASes' in-edges touches far fewer edges than re-walking the whole
+	// fixed set's adjacency.
+	if 2*len(e.fixedList) <= e.g.N() {
+		for _, w := range e.fixedList {
+			trigger(w)
+		}
+	} else {
+		for v := 0; v < e.g.N(); v++ {
+			u := asgraph.AS(v)
+			if e.fixed(u) {
+				continue
+			}
+			if st.SecureOnly && !dep.FullSecure(u) {
+				continue // u cannot validate, so it can never fix here
+			}
+			var inNbrs []asgraph.AS
+			if up {
+				inNbrs = e.g.Customers(u)
+			} else {
+				inNbrs = e.g.Providers(u)
+			}
+			for _, w := range inNbrs {
+				if !e.fixed(w) || (up && !e.exportsWide(w)) {
+					continue
+				}
+				if st.SecureOnly && !o.Secure[w] {
+					continue
+				}
+				if e.admissible(st, u, w, dep) {
+					e.tryOffer(u, w, st, dep)
+				}
+			}
+			if acc := &e.off[u]; acc.ep == e.stageEpoch {
+				push(u, acc.len)
+			}
+		}
+	}
+	class := policy.ClassProvider
+	if up {
+		class = policy.ClassCustomer
 	}
 	for level := 1; level <= maxLevel; level++ {
 		bucket := e.buckets[level]
 		for bi := 0; bi < len(bucket); bi++ {
 			u := bucket[bi]
 			if e.fixed(u) {
-				continue
+				continue // stale entry: u was requeued at a lower level
 			}
-			// Gather u's candidates at exactly this length.
-			e.cvia = e.cvia[:0]
-			var inNbrs []asgraph.AS
-			var class policy.Class
-			if up {
-				inNbrs = e.g.Customers(u)
-				class = policy.ClassCustomer
-			} else {
-				inNbrs = e.g.Providers(u)
-				class = policy.ClassProvider
-			}
-			for _, w := range inNbrs {
-				if !e.fixed(w) || o.Len[w]+1 != int32(level) {
-					continue
-				}
-				if up && !e.exportsWide(w) {
-					continue
-				}
-				if st.SecureOnly && !e.candidateSecure(u, w, dep) {
-					continue
-				}
-				e.cvia = append(e.cvia, w)
-			}
-			if len(e.cvia) == 0 {
-				continue // stale trigger (should not happen; defensive)
-			}
-			e.fixFromGroup(u, class, int32(level), st, dep)
+			e.fixFromOffer(u, class, st, dep)
 			// trigger only pushes to level+1, so the bucket slice we
 			// are iterating cannot grow under us.
 			trigger(u)
@@ -249,138 +510,49 @@ func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
 // route is never announced to another peer, so a single relaxation pass
 // suffices: no peer route can feed another.
 func (e *Engine) runPeerStage(st policy.Stage, dep *Deployment) {
-	o := &e.out
+	if len(e.fixedList) == e.g.N() {
+		return
+	}
+	e.bumpStageEpoch()
 	e.touched = e.touched[:0]
-	for _, w := range e.fixedList {
-		if !e.exportsWide(w) {
-			continue
+	// Direction-optimized work-list seeding, as in runTreeStage.
+	if 2*len(e.fixedList) <= e.g.N() {
+		for _, w := range e.fixedList {
+			if !e.exportsWide(w) || (st.SecureOnly && !e.out.Secure[w]) {
+				continue
+			}
+			for _, u := range e.g.Peers(w) {
+				if !e.fixed(u) && e.admissible(st, u, w, dep) && e.tryOffer(u, w, st, dep) && !e.inTouch[u] {
+					e.inTouch[u] = true
+					e.touched = append(e.touched, u)
+				}
+			}
 		}
-		for _, u := range e.g.Peers(w) {
-			if !e.fixed(u) && !e.inTouch[u] && e.admissible(st, u, w, dep) {
-				e.inTouch[u] = true
+		for _, u := range e.touched {
+			e.inTouch[u] = false
+		}
+	} else {
+		for v := 0; v < e.g.N(); v++ {
+			u := asgraph.AS(v)
+			if e.fixed(u) {
+				continue
+			}
+			if st.SecureOnly && !dep.FullSecure(u) {
+				continue
+			}
+			offered := false
+			for _, w := range e.g.Peers(u) {
+				if e.fixed(w) && e.exportsWide(w) && e.admissible(st, u, w, dep) {
+					e.tryOffer(u, w, st, dep)
+					offered = true
+				}
+			}
+			if offered {
 				e.touched = append(e.touched, u)
 			}
 		}
 	}
 	for _, u := range e.touched {
-		e.inTouch[u] = false
-		// Gather all peer candidates for u (varying lengths).
-		e.cvia = e.cvia[:0]
-		e.clen = e.clen[:0]
-		for _, w := range e.g.Peers(u) {
-			if !e.fixed(w) || !e.exportsWide(w) {
-				continue
-			}
-			if !e.admissible(st, u, w, dep) {
-				continue
-			}
-			e.cvia = append(e.cvia, w)
-			e.clen = append(e.clen, o.Len[w]+1)
-		}
-		if len(e.cvia) == 0 {
-			continue
-		}
-		e.selectPeerAndFix(u, st, dep)
+		e.fixPeerFromOffer(u, st, dep)
 	}
-}
-
-// selectPeerAndFix applies the model's preference among u's gathered peer
-// candidates (which may differ in length) and fixes u.
-func (e *Engine) selectPeerAndFix(u asgraph.AS, st policy.Stage, dep *Deployment) {
-	full := dep.FullSecure(u)
-	// Determine the candidate pool: with SecAboveLength (security 2nd),
-	// a full adopter restricts to secure candidates when any exist, even
-	// if an insecure candidate is shorter.
-	poolSecure := false
-	if st.SecureOnly {
-		poolSecure = true
-	} else if full && st.Sec == policy.SecAboveLength {
-		for i := range e.cvia {
-			if e.candidateSecure(u, e.cvia[i], dep) {
-				poolSecure = true
-				break
-			}
-		}
-	}
-	best := int32(1 << 30)
-	for i := range e.cvia {
-		if poolSecure && !e.candidateSecure(u, e.cvia[i], dep) {
-			continue
-		}
-		if e.clen[i] < best {
-			best = e.clen[i]
-		}
-	}
-	// Shrink the gathered candidates to the chosen pool at the chosen
-	// length, then reuse the common-length fixer.
-	k := 0
-	for i := range e.cvia {
-		if e.clen[i] != best {
-			continue
-		}
-		if poolSecure && !e.candidateSecure(u, e.cvia[i], dep) {
-			continue
-		}
-		e.cvia[k] = e.cvia[i]
-		k++
-	}
-	e.cvia = e.cvia[:k]
-	e.fixFromGroup(u, policy.ClassPeer, best, st, dep)
-}
-
-// fixFromGroup fixes u's route given its candidate next hops e.cvia, all
-// offering routes of the same class and total length. It applies the
-// stage's security preference (the SecP step) and then either merges the
-// candidates' happiness labels (bounds mode) or resolves the tie with the
-// deterministic lowest-index rule (resolved mode).
-func (e *Engine) fixFromGroup(u asgraph.AS, class policy.Class, length int32, st policy.Stage, dep *Deployment) {
-	o := &e.out
-	group := e.cvia
-	secureChoice := st.SecureOnly
-	if !st.SecureOnly && st.Sec != policy.SecIgnore && dep.FullSecure(u) {
-		// Among equally good candidates, a full adopter prefers the
-		// secure ones (SecP before TB).
-		k := 0
-		for _, w := range group {
-			if e.candidateSecure(u, w, dep) {
-				group[k] = w
-				k++
-			}
-		}
-		if k > 0 {
-			group = group[:k]
-			secureChoice = true
-		}
-	}
-
-	var label Label
-	next := group[0]
-	if e.resolve {
-		for _, w := range group {
-			if w < next {
-				next = w
-			}
-		}
-		label = o.Label[next]
-	} else {
-		// Merge the group's labels: a uniform group keeps its parents'
-		// label (including LabelAmbig, which propagates downstream); a
-		// mixed group becomes tiebreak-dependent.
-		label = o.Label[group[0]]
-		for _, w := range group {
-			if w < next {
-				next = w
-			}
-			if o.Label[w] != label {
-				label = LabelAmbig
-			}
-		}
-	}
-
-	o.Class[u] = class
-	o.Len[u] = length
-	o.Secure[u] = secureChoice && dep.FullSecure(u)
-	o.Label[u] = label
-	o.Next[u] = next
-	e.fixedList = append(e.fixedList, u)
 }

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/policy"
+	"sbgp/internal/topogen"
+)
+
+// BenchmarkEngineRun measures one routing-outcome computation on a
+// 4000-AS topology — the unit cost every grid experiment pays per
+// (attacker, destination) pair.
+func BenchmarkEngineRun(b *testing.B) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 4000, Seed: 1})
+	full := asgraph.NewSet(g.N())
+	for v := 0; v < g.N(); v += 3 {
+		full.Add(asgraph.AS(v))
+	}
+	dep := &Deployment{Full: full}
+	for _, bc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"epoch-reset", nil},
+		{"full-clear", []Option{WithFullClearReset()}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			e := NewEngine(g, policy.Sec2nd, bc.opts...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.Run(asgraph.AS(i%64+10), asgraph.AS(i%97+200), dep)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunSparse measures runs that touch only a small part of
+// the graph: 100 disconnected 40-AS provider trees, attacks staying
+// within one tree. The epoch reset pays O(touched) per run where the
+// full-clear baseline still pays O(n), so this is the regime the
+// rollback exists for.
+func BenchmarkEngineRunSparse(b *testing.B) {
+	const clusters, size = 100, 40
+	gb := asgraph.NewBuilder(clusters * size)
+	for c := 0; c < clusters; c++ {
+		base := asgraph.AS(c * size)
+		for i := 1; i < size; i++ {
+			gb.AddProviderCustomer(base+asgraph.AS((i-1)/2), base+asgraph.AS(i))
+		}
+	}
+	g := gb.MustBuild()
+	full := asgraph.NewSet(g.N())
+	for v := 0; v < g.N(); v += 3 {
+		full.Add(asgraph.AS(v))
+	}
+	dep := &Deployment{Full: full}
+	for _, bc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"epoch-reset", nil},
+		{"full-clear", []Option{WithFullClearReset()}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			e := NewEngine(g, policy.Sec2nd, bc.opts...)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				base := asgraph.AS(i % clusters * size)
+				_ = e.Run(base, base+asgraph.AS(i%(size-1)+1), dep)
+			}
+		})
+	}
+}

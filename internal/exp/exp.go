@@ -12,6 +12,7 @@
 package exp
 
 import (
+	"fmt"
 	"sort"
 
 	"sbgp/internal/asgraph"
@@ -20,6 +21,7 @@ import (
 	"sbgp/internal/policy"
 	"sbgp/internal/rootcause"
 	"sbgp/internal/runner"
+	"sbgp/internal/sweep"
 	"sbgp/internal/topogen"
 )
 
@@ -121,7 +123,36 @@ func newWorkloadFromGraph(g *asgraph.Graph, meta *topogen.Meta, cfg Config) *Wor
 // authentication alone (Section 4.2; the paper reports ≥60%, 62% on the
 // IXP-augmented graph).
 func (w *Workload) Baseline(model policy.Model, lp policy.LocalPref) runner.Metric {
-	return runner.EvalMetric(w.G, model, lp, nil, w.M, w.D, w.Workers)
+	grid := &sweep.Grid{
+		Models:       []policy.Model{model},
+		LP:           lp,
+		Attackers:    w.M,
+		Destinations: w.D,
+		Workers:      w.Workers,
+	}
+	return grid.MustEvaluate(w.G).Cells[0].Metric
+}
+
+// BaselineGrid computes the headline (model × deployment) grid over the
+// workload's sampled pairs: the baseline plus the named rollout
+// endpoints, for every security model. cmd/experiments serializes it as
+// the JSON artifact.
+func (w *Workload) BaselineGrid(lp policy.LocalPref) *sweep.Result {
+	t12 := deploy.Tier12Rollout(w.G, w.Tiers, false)
+	t2 := deploy.Tier2Rollout(w.G, w.Tiers, false)
+	grid := &sweep.Grid{
+		LP: lp,
+		Deployments: []sweep.Deployment{
+			{Name: "baseline"},
+			{Name: "t1t2", Dep: t12[len(t12)-1].Deployment},
+			{Name: "t2", Dep: t2[len(t2)-1].Deployment},
+			{Name: "nonstubs", Dep: deploy.Build(w.G, w.Tiers, deploy.Spec{AllNonStubs: true})},
+		},
+		Attackers:    w.M,
+		Destinations: w.D,
+		Workers:      w.Workers,
+	}
+	return grid.MustEvaluate(w.G)
 }
 
 // Partitions computes E2 (Figure 3): doomed/protectable/immune fractions
@@ -156,10 +187,9 @@ func (w *Workload) PartitionsBySourceTier(lp policy.LocalPref) []runner.Partitio
 		srcs [policy.NumModels]int64
 	}
 	perDest := make([][]counts, len(w.D))
-	runner.ForEachIndex(len(w.D), w.Workers, func() interface{} {
+	runner.ForEach(len(w.D), w.Workers, func() *core.Partitioner {
 		return core.NewPartitioner(w.G, lp)
-	}, func(state interface{}, di int) {
-		p := state.(*core.Partitioner)
+	}, func(p *core.Partitioner, di int) {
 		d := w.D[di]
 		bs := make([]counts, nTiers)
 		for _, m := range w.M {
@@ -221,27 +251,40 @@ type RolloutPoint struct {
 
 // Rollout computes E7/E9/E12 (Figures 7(a), 8, 11): the metric
 // improvement at each step of the given rollout, over destinations D
-// (pass w.D for H_{M',V}; the CPs for Figure 8).
+// (pass w.D for H_{M',V}; the CPs for Figure 8). The whole schedule —
+// baseline plus every step with and without simplex stubs, for every
+// model — is declared as one sweep grid and evaluated in a single
+// parallel pass.
 func (w *Workload) Rollout(steps []deploy.Step, D []asgraph.AS, lp policy.LocalPref) []RolloutPoint {
-	base := make([]runner.Metric, policy.NumModels)
-	for _, model := range policy.Models {
-		base[model] = runner.EvalMetric(w.G, model, lp, nil, w.M, D, w.Workers)
+	deployments := make([]sweep.Deployment, 0, 2*len(steps)+1)
+	deployments = append(deployments, sweep.Deployment{Name: "baseline"})
+	for i, step := range steps {
+		simplexSpec := step.Spec
+		simplexSpec.SimplexStubs = true
+		deployments = append(deployments,
+			sweep.Deployment{Name: fmt.Sprintf("step%d", i), Dep: step.Deployment},
+			sweep.Deployment{Name: fmt.Sprintf("step%d+simplex", i), Dep: deploy.Build(w.G, w.Tiers, simplexSpec)},
+		)
 	}
+	grid := &sweep.Grid{
+		LP:           lp,
+		Deployments:  deployments,
+		Attackers:    w.M,
+		Destinations: D,
+		Workers:      w.Workers,
+	}
+	res := grid.MustEvaluate(w.G)
 	out := make([]RolloutPoint, 0, len(steps))
-	for _, step := range steps {
+	for i, step := range steps {
 		pt := RolloutPoint{
 			Name:        step.Name,
 			NonStubs:    step.NonStubCount(w.G),
 			SecuredASes: step.Deployment.SecureCount(),
 		}
-		simplexSpec := step.Spec
-		simplexSpec.SimplexStubs = true
-		simplexDep := deploy.Build(w.G, w.Tiers, simplexSpec)
 		for _, model := range policy.Models {
-			m := runner.EvalMetric(w.G, model, lp, step.Deployment, w.M, D, w.Workers)
-			pt.Delta[model] = m.Delta(base[model])
-			sm := runner.EvalMetric(w.G, model, lp, simplexDep, w.M, D, w.Workers)
-			pt.SimplexDelta[model] = sm.Delta(base[model])
+			base := res.Cell("baseline", model).Metric
+			pt.Delta[model] = res.Cell(fmt.Sprintf("step%d", i), model).Metric.Delta(base)
+			pt.SimplexDelta[model] = res.Cell(fmt.Sprintf("step%d+simplex", i), model).Metric.Delta(base)
 		}
 		out = append(out, pt)
 	}
@@ -256,10 +299,22 @@ func (w *Workload) Rollout(steps []deploy.Step, D []asgraph.AS, lp policy.LocalP
 func (w *Workload) SecureDestDeltas(dep *core.Deployment, lp policy.LocalPref) [policy.NumModels][]float64 {
 	secure := dep.Full.Members()
 	ds, _ := runner.SamplePairs(secure, nil, w.MaxPerDest, 0)
+	grid := &sweep.Grid{
+		LP: lp,
+		Deployments: []sweep.Deployment{
+			{Name: "with", Dep: dep},
+			{Name: "without"},
+		},
+		Attackers:    w.M,
+		Destinations: ds,
+		PerDest:      true,
+		Workers:      w.Workers,
+	}
+	res := grid.MustEvaluate(w.G)
 	var out [policy.NumModels][]float64
 	for _, model := range policy.Models {
-		with := runner.EvalMetricPerDest(w.G, model, lp, dep, w.M, ds, w.Workers)
-		without := runner.EvalMetricPerDest(w.G, model, lp, nil, w.M, ds, w.Workers)
+		with := res.Cell("with", model).PerDest
+		without := res.Cell("without", model).PerDest
 		deltas := make([]float64, len(ds))
 		for i := range ds {
 			deltas[i] = with[i].Lo - without[i].Lo

@@ -83,14 +83,13 @@ func EvaluatePerDest(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, 
 		secN   []bool // secure under normal conditions
 		baseOK []bool // happy (lower bound) in the baseline attack
 	}
-	forEach(g, len(D), workers, func() interface{} {
+	runner.ForEach(len(D), workers, func() *state {
 		return &state{
 			eng:    core.NewEngineLP(g, model, lp),
 			secN:   make([]bool, g.N()),
 			baseOK: make([]bool, g.N()),
 		}
-	}, func(si interface{}, di int) {
-		st := si.(*state)
+	}, func(st *state, di int) {
 		d := D[di]
 		normal := st.eng.RunNormal(d, dep)
 		copy(st.secN, normal.Secure)
@@ -184,9 +183,4 @@ func DetectPhenomena(g *asgraph.Graph, lp policy.LocalPref, dep *core.Deployment
 		ph.CollateralDamage[model] = a.CollateralDamage > 0
 	}
 	return ph
-}
-
-// forEach delegates to the runner's worker pool.
-func forEach(g *asgraph.Graph, n, workers int, mk func() interface{}, fn func(state interface{}, di int)) {
-	runner.ForEachIndex(n, workers, mk, fn)
 }

@@ -9,6 +9,7 @@ package runner
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/core"
@@ -28,8 +29,9 @@ func Workers(w int) int {
 // tiebreak bounds: the average, over all attacker-destination pairs, of
 // the fraction of happy source ASes.
 type Metric struct {
-	Lo, Hi float64
-	Pairs  int
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+	Pairs int     `json:"pairs"`
 }
 
 // Delta returns the improvement of m over a baseline metric, as used
@@ -61,10 +63,9 @@ func EvalMetric(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *
 // The result is indexed like D.
 func EvalMetricPerDest(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *core.Deployment, M, D []asgraph.AS, workers int) []Metric {
 	out := make([]Metric, len(D))
-	forEachDest(len(D), workers, func() interface{} {
+	ForEach(len(D), workers, func() *core.Engine {
 		return core.NewEngineLP(g, model, lp)
-	}, func(state interface{}, di int) {
-		e := state.(*core.Engine)
+	}, func(e *core.Engine, di int) {
 		d := D[di]
 		var lo, hi, pairs int
 		for _, m := range M {
@@ -125,10 +126,9 @@ func EvalPartitionsBucketed(g *asgraph.Graph, lp policy.LocalPref, M, D []asgrap
 		pairs int
 	}
 	perDest := make([][]counts, len(D))
-	forEachDest(len(D), workers, func() interface{} {
+	ForEach(len(D), workers, func() *core.Partitioner {
 		return core.NewPartitioner(g, lp)
-	}, func(state interface{}, di int) {
-		p := state.(*core.Partitioner)
+	}, func(p *core.Partitioner, di int) {
 		d := D[di]
 		bs := make([]counts, nbuckets)
 		for _, m := range M {
@@ -179,45 +179,57 @@ func EvalPartitionsBucketed(g *asgraph.Graph, lp policy.LocalPref, M, D []asgrap
 	return out
 }
 
-// ForEachIndex fans indices 0..n-1 out to a worker pool; stateFactory
-// builds one reusable per-worker state (an engine or partitioner, which
-// are not goroutine-safe). Exposed for sibling packages that aggregate
-// custom statistics over destinations.
-func ForEachIndex(n, workers int, stateFactory func() interface{}, fn func(state interface{}, di int)) {
-	forEachDest(n, workers, stateFactory, fn)
-}
+// chunkTarget is the number of chunks each worker should see on
+// average: high enough to smooth out uneven per-index cost, low enough
+// that contention on the shared cursor is negligible.
+const chunkTarget = 8
 
-// forEachDest fans destination indices out to a worker pool;
-// stateFactory builds one reusable per-worker state (an engine or
-// partitioner, which are not goroutine-safe).
-func forEachDest(n, workers int, stateFactory func() interface{}, fn func(state interface{}, di int)) {
+// ForEach fans indices 0..n-1 out to a worker pool. newState builds one
+// reusable typed per-worker state (an engine or partitioner, which are
+// not goroutine-safe); fn must be safe to call concurrently for
+// distinct indices. Indices are handed out in contiguous chunks via a
+// single atomic cursor, so dispatch costs one atomic add per chunk
+// rather than one channel send per index. Any per-index result written
+// to a caller-owned slice is positionally deterministic: the same
+// inputs produce the same outputs at every worker count.
+func ForEach[T any](n, workers int, newState func() T, fn func(state T, di int)) {
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		state := stateFactory()
+		state := newState()
 		for di := 0; di < n; di++ {
 			fn(state, di)
 		}
 		return
 	}
+	chunk := n / (w * chunkTarget)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			state := stateFactory()
-			for di := range next {
-				fn(state, di)
+			state := newState()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for di := start; di < end; di++ {
+					fn(state, di)
+				}
 			}
 		}()
 	}
-	for di := 0; di < n; di++ {
-		next <- di
-	}
-	close(next)
 	wg.Wait()
 }
 

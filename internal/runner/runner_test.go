@@ -2,6 +2,7 @@ package runner
 
 import (
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"sbgp/internal/asgraph"
@@ -9,6 +10,30 @@ import (
 	"sbgp/internal/policy"
 	"sbgp/internal/topogen"
 )
+
+// TestForEachCoversAllIndices checks the chunked dispatcher visits every
+// index exactly once across worker counts and awkward n/chunk ratios.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, w := range []int{1, 3, 8, 32} {
+			hits := make([]int32, n)
+			states := new(atomic.Int32)
+			ForEach(n, w, func() int {
+				return int(states.Add(1))
+			}, func(_ int, di int) {
+				atomic.AddInt32(&hits[di], 1)
+			})
+			for di := range hits {
+				if hits[di] != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, di, hits[di])
+				}
+			}
+			if n > 0 && int(states.Load()) > Workers(w) {
+				t.Errorf("n=%d w=%d: %d states built for %d workers", n, w, states.Load(), Workers(w))
+			}
+		}
+	}
+}
 
 func chain(n int) *asgraph.Graph {
 	b := asgraph.NewBuilder(n)

@@ -1,0 +1,229 @@
+// Package sweep evaluates declarative (security model × deployment ×
+// attacker × destination) grids — the aggregate the paper computed on a
+// BlueGene supercomputer (Appendix H) — and serializes the results.
+//
+// A Grid names the four axes once; Evaluate expands the full cross
+// product, fans the independent (deployment, model, destination) tasks
+// out over the runner's chunked worker pool, and folds the integer
+// happiness counts back together in axis order. Because every cell is
+// accumulated positionally and reduced in a fixed order, the same grid
+// produces byte-identical results at any worker count.
+//
+// The grid layer is what cmd/experiments and cmd/bgpsim build on for
+// their batch modes, and internal/exp uses it to evaluate whole rollout
+// schedules in one parallel pass instead of one harness call per
+// (step, model) pair.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+	"sbgp/internal/runner"
+)
+
+// Deployment is one named point on the deployment axis. A nil Dep is
+// the baseline S = ∅ (RPKI origin authentication only).
+type Deployment struct {
+	Name string
+	Dep  *core.Deployment
+}
+
+// Grid declares a full evaluation grid. Zero-valued axes get defaults:
+// all three security models, and the single baseline deployment.
+// Attackers and Destinations must be non-empty.
+type Grid struct {
+	Models       []policy.Model
+	LP           policy.LocalPref
+	Deployments  []Deployment
+	Attackers    []asgraph.AS
+	Destinations []asgraph.AS
+
+	// PerDest adds the per-destination metric series to every cell
+	// (the sequences plotted in Figures 9, 10, and 12).
+	PerDest bool
+
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Cell is the aggregate for one (deployment, model) pair over all
+// (attacker, destination) pairs of the grid.
+type Cell struct {
+	Deployment string        `json:"deployment"`
+	Model      string        `json:"model"`
+	SecureASes int           `json:"secure_ases"`
+	Metric     runner.Metric `json:"metric"`
+	// PerDest is indexed like Grid.Destinations; only present when the
+	// grid requested it.
+	PerDest []runner.Metric `json:"per_dest,omitempty"`
+}
+
+// Result is a fully evaluated grid.
+type Result struct {
+	GraphN       int    `json:"graph_n"`
+	LP           string `json:"lp"`
+	Attackers    int    `json:"attackers"`
+	Destinations int    `json:"destinations"`
+	// Cells is ordered deployment-major, then model, matching the
+	// declaration order of the grid's axes.
+	Cells []Cell `json:"cells"`
+}
+
+// Cell returns the cell for a (deployment name, model) pair, or nil.
+func (r *Result) Cell(deployment string, model policy.Model) *Cell {
+	name := model.String()
+	for i := range r.Cells {
+		if r.Cells[i].Deployment == deployment && r.Cells[i].Model == name {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON serializes the result, indented, with a trailing newline.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// destAcc is the integer happiness count for one task; keeping the
+// per-destination sums exact makes the reduction independent of both
+// worker count and summation order.
+type destAcc struct {
+	lo, hi, pairs int
+}
+
+// Evaluate expands and evaluates the grid on g.
+func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
+	models := gr.Models
+	if len(models) == 0 {
+		models = policy.Models[:]
+	}
+	deps := gr.Deployments
+	if len(deps) == 0 {
+		deps = []Deployment{{Name: "baseline"}}
+	}
+	if len(gr.Attackers) == 0 || len(gr.Destinations) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs attackers and destinations (have %d, %d)",
+			len(gr.Attackers), len(gr.Destinations))
+	}
+	seen := map[string]bool{}
+	for _, dp := range deps {
+		if dp.Name == "" {
+			return nil, fmt.Errorf("sweep: deployment with empty name")
+		}
+		if seen[dp.Name] {
+			return nil, fmt.Errorf("sweep: duplicate deployment name %q", dp.Name)
+		}
+		seen[dp.Name] = true
+	}
+	seenModel := map[policy.Model]bool{}
+	for _, m := range models {
+		if seenModel[m] {
+			return nil, fmt.Errorf("sweep: duplicate model %v", m)
+		}
+		seenModel[m] = true
+	}
+
+	// One task per (deployment, model, destination) triple: coarse
+	// enough to amortize dispatch, fine enough to balance load.
+	nd := len(gr.Destinations)
+	nm := len(models)
+	tasks := len(deps) * nm * nd
+	acc := make([]destAcc, tasks)
+
+	// Each worker lazily builds one engine per security model; the
+	// engine's epoch reset makes reuse across deployments and
+	// destinations cheap.
+	type workerState struct {
+		engines [policy.NumModels]*core.Engine
+	}
+	runner.ForEach(tasks, gr.Workers, func() *workerState {
+		return &workerState{}
+	}, func(ws *workerState, ti int) {
+		di := ti % nd
+		mi := (ti / nd) % nm
+		si := ti / (nd * nm)
+		model := models[mi]
+		e := ws.engines[model]
+		if e == nil {
+			e = core.NewEngineLP(g, model, gr.LP)
+			ws.engines[model] = e
+		}
+		d := gr.Destinations[di]
+		dep := deps[si].Dep
+		var a destAcc
+		for _, m := range gr.Attackers {
+			if m == d {
+				continue
+			}
+			o := e.Run(d, m, dep)
+			lo, hi := o.HappyBounds()
+			a.lo += lo
+			a.hi += hi
+			a.pairs++
+		}
+		acc[ti] = a
+	})
+
+	// Reduce in declaration order.
+	res := &Result{
+		GraphN:       g.N(),
+		LP:           gr.LP.String(),
+		Attackers:    len(gr.Attackers),
+		Destinations: nd,
+		Cells:        make([]Cell, 0, len(deps)*nm),
+	}
+	sources := float64(g.N() - 2)
+	for si, dp := range deps {
+		for mi, model := range models {
+			cell := Cell{
+				Deployment: dp.Name,
+				Model:      model.String(),
+				SecureASes: dp.Dep.SecureCount(),
+			}
+			if gr.PerDest {
+				cell.PerDest = make([]runner.Metric, nd)
+			}
+			var lo, hi float64
+			pairs := 0
+			for di := 0; di < nd; di++ {
+				a := acc[(si*nm+mi)*nd+di]
+				lo += float64(a.lo)
+				hi += float64(a.hi)
+				pairs += a.pairs
+				if gr.PerDest && a.pairs > 0 {
+					cell.PerDest[di] = runner.Metric{
+						Lo:    float64(a.lo) / (float64(a.pairs) * sources),
+						Hi:    float64(a.hi) / (float64(a.pairs) * sources),
+						Pairs: a.pairs,
+					}
+				}
+			}
+			if pairs > 0 {
+				cell.Metric = runner.Metric{
+					Lo:    lo / (float64(pairs) * sources),
+					Hi:    hi / (float64(pairs) * sources),
+					Pairs: pairs,
+				}
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// MustEvaluate is Evaluate for statically well-formed grids.
+func (gr *Grid) MustEvaluate(g *asgraph.Graph) *Result {
+	res, err := gr.Evaluate(g)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

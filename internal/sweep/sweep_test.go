@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"bytes"
+	"math"
+	"runtime"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+	"sbgp/internal/runner"
+	"sbgp/internal/topogen"
+)
+
+func testGrid(t *testing.T, g *asgraph.Graph, workers int) *Grid {
+	t.Helper()
+	all := make([]asgraph.AS, g.N())
+	for i := range all {
+		all[i] = asgraph.AS(i)
+	}
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), all, 8, 10)
+	full := asgraph.SetOf(g.N(), asgraph.NonStubs(g)...)
+	return &Grid{
+		Deployments: []Deployment{
+			{Name: "baseline"},
+			{Name: "nonstubs", Dep: &core.Deployment{Full: full}},
+		},
+		Attackers:    M,
+		Destinations: D,
+		PerDest:      true,
+		Workers:      workers,
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the contract the ISSUE
+// names: the same grid evaluated with workers=1 and workers=NumCPU must
+// produce byte-identical serialized aggregates.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 400, Seed: 5})
+	var serial, parallel bytes.Buffer
+	if err := testGrid(t, g, 1).MustEvaluate(g).WriteJSON(&serial); err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 8
+	}
+	if err := testGrid(t, g, workers).MustEvaluate(g).WriteJSON(&parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("sweep output differs between workers=1 and workers=%d:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			workers, serial.String(), parallel.String())
+	}
+}
+
+// TestSweepMatchesRunner pins the grid evaluator to the metric the
+// runner computes directly, cell by cell and destination by
+// destination.
+func TestSweepMatchesRunner(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 400, Seed: 5})
+	grid := testGrid(t, g, 0)
+	res := grid.MustEvaluate(g)
+	if len(res.Cells) != len(grid.Deployments)*policy.NumModels {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), len(grid.Deployments)*policy.NumModels)
+	}
+	for _, dp := range grid.Deployments {
+		for _, model := range policy.Models {
+			cell := res.Cell(dp.Name, model)
+			if cell == nil {
+				t.Fatalf("missing cell %s/%v", dp.Name, model)
+			}
+			want := runner.EvalMetric(g, model, grid.LP, dp.Dep, grid.Attackers, grid.Destinations, 0)
+			if math.Abs(cell.Metric.Lo-want.Lo) > 1e-12 || math.Abs(cell.Metric.Hi-want.Hi) > 1e-12 ||
+				cell.Metric.Pairs != want.Pairs {
+				t.Errorf("%s/%v: sweep metric %+v != runner metric %+v", dp.Name, model, cell.Metric, want)
+			}
+			wantPer := runner.EvalMetricPerDest(g, model, grid.LP, dp.Dep, grid.Attackers, grid.Destinations, 0)
+			for di := range wantPer {
+				got := cell.PerDest[di]
+				if math.Abs(got.Lo-wantPer[di].Lo) > 1e-12 || got.Pairs != wantPer[di].Pairs {
+					t.Errorf("%s/%v dest %d: per-dest %+v != %+v", dp.Name, model, di, got, wantPer[di])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepDefaultsAndErrors covers axis defaulting and the malformed-
+// grid errors.
+func TestSweepDefaultsAndErrors(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 100, Seed: 2})
+	grid := &Grid{
+		Attackers:    []asgraph.AS{1, 2},
+		Destinations: []asgraph.AS{0, 3},
+	}
+	res, err := grid.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != policy.NumModels {
+		t.Errorf("defaulted grid has %d cells, want %d", len(res.Cells), policy.NumModels)
+	}
+	if res.Cells[0].Deployment != "baseline" {
+		t.Errorf("default deployment named %q", res.Cells[0].Deployment)
+	}
+
+	if _, err := (&Grid{}).Evaluate(g); err == nil {
+		t.Error("empty grid must fail")
+	}
+	bad := &Grid{
+		Deployments:  []Deployment{{Name: "x"}, {Name: "x"}},
+		Attackers:    []asgraph.AS{1},
+		Destinations: []asgraph.AS{0},
+	}
+	if _, err := bad.Evaluate(g); err == nil {
+		t.Error("duplicate deployment name must fail")
+	}
+}

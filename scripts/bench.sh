@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the repository's benchmark suite once (smoke scale) and emits the
+# results as BENCH_<date>.txt (raw `go test -bench` output) and
+# BENCH_<date>.json (one record per benchmark) in the repo root. CI's
+# non-blocking bench-smoke job uploads both; run it locally to append a
+# point to the perf trajectory.
+#
+# Usage: scripts/bench.sh [label]
+#   label defaults to the current date (UTC, YYYY-MM-DD).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+label="${1:-$(date -u +%Y-%m-%d)}"
+txt="BENCH_${label}.txt"
+json="BENCH_${label}.json"
+
+go test -run '^$' -bench . -benchmem -benchtime 1x ./... 2>&1 | tee "$txt"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
+/^Benchmark/ && NF >= 4 {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, $2, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n  ]\n}" }
+' "$txt" > "$json"
+
+echo "wrote $txt and $json"
