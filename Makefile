@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt-check vet ci
+.PHONY: all build test race bench bench-smoke fmt-check vet staticcheck examples-smoke ci
 
 all: build
 
@@ -20,6 +20,25 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs honnef.co/go/tools if installed; CI installs it, and
+# the target degrades to a notice on machines without it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+# examples-smoke executes every example program (small N where sized)
+# so the facade-facing code paths run, not just compile.
+examples-smoke:
+	$(GO) run ./examples/quickstart -n 400 >/dev/null
+	$(GO) run ./examples/rollout -n 400 >/dev/null
+	$(GO) run ./examples/downgrade >/dev/null
+	$(GO) run ./examples/collateral >/dev/null
+	$(GO) run ./examples/wedgie >/dev/null
+	@echo "examples OK"
+
 # bench runs the full benchmark suite at measurement scale.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -30,4 +49,4 @@ bench-smoke:
 	./scripts/bench.sh
 
 # ci mirrors the blocking jobs of .github/workflows/ci.yml.
-ci: fmt-check vet build test race
+ci: fmt-check vet staticcheck build test race examples-smoke

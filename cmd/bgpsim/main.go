@@ -2,16 +2,22 @@
 // or loaded from the asgraph text format) and reports the security
 // metric, partition fractions, and downgrade counts for one
 // attacker-destination pair — a microscope for a single cell of the
-// paper's aggregate figures.
+// paper's aggregate figures. It is built entirely on the public sbgp
+// facade.
+//
+// The threat model is pluggable: -attack selects the paper's one-hop
+// hijack (default), no attack, an RPKI-stopped origin spoof, or a
+// padded-path attack ("pad-K").
 //
 // With -sweep it instead evaluates the full (model × deployment ×
-// attacker × destination) grid via internal/sweep — every security
-// model against the chosen deployment and the baseline, over sampled
-// pairs — and prints the grid as JSON.
+// attacker × destination) grid — every security model against the
+// chosen deployment and the baseline, over sampled pairs — and prints
+// the grid as JSON.
 //
 // Examples:
 //
 //	bgpsim -n 4000 -d 17 -m 212 -model 2 -deploy t1t2
+//	bgpsim -n 4000 -d 17 -m 212 -deploy t1t2 -attack pad-3
 //	bgpsim -n 4000 -deploy t1t2 -sweep -maxm 24 -maxd 32
 package main
 
@@ -20,14 +26,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
-	"sbgp/internal/asgraph"
-	"sbgp/internal/core"
-	"sbgp/internal/deploy"
-	"sbgp/internal/policy"
-	"sbgp/internal/runner"
-	"sbgp/internal/sweep"
-	"sbgp/internal/topogen"
+	"sbgp"
 )
 
 func main() {
@@ -40,7 +41,10 @@ func main() {
 	att := flag.Int("m", -1, "attacker AS index (-1: normal conditions)")
 	modelFlag := flag.Int("model", 3, "security model: 1, 2, or 3")
 	lpk := flag.Int("lpk", 0, "LPk local-preference variant (0 = standard)")
-	deployFlag := flag.String("deploy", "none", "deployment: none|t1t2|t1t2cp|t2|nonstubs")
+	deployFlag := flag.String("deploy", "none",
+		"deployment: "+strings.Join(sbgp.DeploymentNames(), "|"))
+	attackFlag := flag.String("attack", "one-hop",
+		"attack strategy: one-hop|none|origin-spoof|pad-K")
 	showPath := flag.Int("path", -1, "print the route of this AS")
 	sweepFlag := flag.Bool("sweep", false, "evaluate the full model/deployment grid and print JSON")
 	maxM := flag.Int("maxm", 24, "attacker sample size (with -sweep)")
@@ -48,58 +52,39 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; with -sweep)")
 	flag.Parse()
 
-	var g *asgraph.Graph
-	var meta *topogen.Meta
-	if *graphPath != "" {
-		f, err := os.Open(*graphPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		g, err = asgraph.ReadFrom(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		meta = &topogen.Meta{}
-	} else {
-		var err error
-		g, meta, err = topogen.Generate(topogen.Params{N: *n, Seed: *seed})
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	if err := asgraph.Validate(g); err != nil {
-		log.Fatal(err)
-	}
-
-	var model policy.Model
+	var model sbgp.Model
 	switch *modelFlag {
 	case 1:
-		model = policy.Sec1st
+		model = sbgp.Sec1st
 	case 2:
-		model = policy.Sec2nd
+		model = sbgp.Sec2nd
 	case 3:
-		model = policy.Sec3rd
+		model = sbgp.Sec3rd
 	default:
 		log.Fatalf("unknown model %d", *modelFlag)
 	}
-	lp := policy.LocalPref{K: *lpk}
-
-	tiers := asgraph.Classify(g, meta.CPs, nil)
-	var dep *core.Deployment
-	switch *deployFlag {
-	case "none":
-	case "t1t2":
-		dep = deploy.Build(g, tiers, deploy.Spec{NumTier1: 13, NumTier2: 100, IncludeStubs: true})
-	case "t1t2cp":
-		dep = deploy.Build(g, tiers, deploy.Spec{NumTier1: 13, NumTier2: 100, CPs: meta.CPs, IncludeStubs: true})
-	case "t2":
-		dep = deploy.Build(g, tiers, deploy.Spec{NumTier2: 100, IncludeStubs: true})
-	case "nonstubs":
-		dep = deploy.Build(g, tiers, deploy.Spec{AllNonStubs: true})
-	default:
-		log.Fatalf("unknown deployment %q", *deployFlag)
+	attack, err := sbgp.ParseAttack(*attackFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	opts := []sbgp.Option{
+		sbgp.WithModel(model),
+		sbgp.WithLocalPref(sbgp.LocalPref{K: *lpk}),
+		sbgp.WithNamedDeployment(*deployFlag),
+		sbgp.WithAttack(attack),
+		sbgp.WithWorkers(*workers),
+	}
+	if *graphPath != "" {
+		opts = append(opts, sbgp.WithGraphFile(*graphPath))
+	} else {
+		opts = append(opts, sbgp.WithGeneratedTopology(*n, *seed))
+	}
+	sim, err := sbgp.NewScenario(opts...).Simulate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := sim.Graph()
 
 	if *sweepFlag {
 		flag.Visit(func(f *flag.Flag) {
@@ -108,25 +93,12 @@ func main() {
 				log.Fatalf("-%s selects a single scenario and conflicts with -sweep", f.Name)
 			}
 		})
-		all := make([]asgraph.AS, g.N())
+		all := make([]sbgp.AS, g.N())
 		for i := range all {
-			all[i] = asgraph.AS(i)
+			all[i] = sbgp.AS(i)
 		}
-		M, D := runner.SamplePairs(asgraph.NonStubs(g), all, *maxM, *maxD)
-		grid := &sweep.Grid{
-			LP: lp,
-			Deployments: []sweep.Deployment{
-				{Name: "baseline"},
-				{Name: *deployFlag, Dep: dep},
-			},
-			Attackers:    M,
-			Destinations: D,
-			Workers:      *workers,
-		}
-		if *deployFlag == "none" {
-			grid.Deployments = grid.Deployments[:1]
-		}
-		res, err := grid.Evaluate(g)
+		M, D := sbgp.SamplePairs(sbgp.NonStubs(g), all, *maxM, *maxD)
+		res, err := sim.Sweep(M, D)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -136,43 +108,53 @@ func main() {
 		return
 	}
 
-	d := asgraph.AS(*dst)
-	m := asgraph.AS(*att)
-	if int(d) >= g.N() || (m != asgraph.None && int(m) >= g.N()) {
-		log.Fatalf("AS index out of range [0,%d)", g.N())
-	}
-
-	e := core.NewEngineLP(g, model, lp)
-	fmt.Printf("%s, %s, destination AS%d", model, lp, d)
-	if m != asgraph.None {
-		fmt.Printf(", attacker AS%d", m)
+	d := sbgp.AS(*dst)
+	m := sbgp.AS(*att)
+	dep := sim.Deployment()
+	fmt.Printf("%s, %s, destination AS%d", model, sbgp.LocalPref{K: *lpk}, d)
+	if m != sbgp.NoAS {
+		fmt.Printf(", attacker AS%d (%s)", m, attack.Name())
 	}
 	fmt.Printf(", %d secure ASes\n", dep.SecureCount())
 
-	if m != asgraph.None {
-		normal := e.RunNormal(d, dep).Clone()
-		attack := e.Run(d, m, dep)
-		lo, hi := attack.HappyBounds()
-		src := attack.NumSources()
+	if m != sbgp.NoAS {
+		normalRun, err := sim.RunNormal(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		normal := normalRun.Clone()
+		attackOut, err := sim.Run(d, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lo, hi := attackOut.HappyBounds()
+		src := attackOut.NumSources()
 		fmt.Printf("happy sources: %.1f%% .. %.1f%% of %d\n",
 			100*float64(lo)/float64(src), 100*float64(hi)/float64(src), src)
 		fmt.Printf("secure routes: %d normal, %d under attack, %d downgraded\n",
-			core.CountSecure(normal), core.CountSecure(attack), core.CountDowngraded(normal, attack))
-		part := core.NewPartitioner(g, lp).Run(d, m)
+			sbgp.CountSecure(normal), sbgp.CountSecure(attackOut),
+			sbgp.CountDowngraded(normal, attackOut))
+		part, err := sim.Partition(d, m)
+		if err != nil {
+			log.Fatal(err)
+		}
 		im, dm, pr := part.Counts(model)
-		fmt.Printf("partition: %d immune, %d doomed, %d protectable\n", im, dm, pr)
+		fmt.Printf("partition (one-hop attack): %d immune, %d doomed, %d protectable\n", im, dm, pr)
 		if *showPath >= 0 && *showPath < g.N() {
 			fmt.Printf("route of AS%d: %v (%v, %s)\n", *showPath,
-				attack.Path(asgraph.AS(*showPath)), attack.Label[*showPath],
-				attack.Class[*showPath])
+				attackOut.Path(sbgp.AS(*showPath)), attackOut.Label[*showPath],
+				attackOut.Class[*showPath])
 		}
 		return
 	}
-	normal := e.RunNormal(d, dep)
+	normal, err := sim.RunNormal(d)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("secure routes under normal conditions: %d of %d sources\n",
-		core.CountSecure(normal), normal.NumSources())
+		sbgp.CountSecure(normal), normal.NumSources())
 	if *showPath >= 0 && *showPath < g.N() {
 		fmt.Printf("route of AS%d: %v (%s)\n", *showPath,
-			normal.Path(asgraph.AS(*showPath)), normal.Class[*showPath])
+			normal.Path(sbgp.AS(*showPath)), normal.Class[*showPath])
 	}
 }

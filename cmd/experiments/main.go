@@ -1,17 +1,20 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation (the experiment index E1–E27 of DESIGN.md) on a synthetic
 // workload and prints the measured values next to the numbers the paper
-// reports for the UCLA graph.
+// reports for the UCLA graph. It consumes the public sbgp facade.
 //
 // Usage:
 //
 //	experiments [-n 4000] [-seed 1] [-maxm 24] [-maxd 32] [-perdest 200]
 //	            [-workers 0] [-quick] [-skip-ixp] [-json grid.json]
+//	            [-attack one-hop]
 //
 // -quick shrinks everything for a fast smoke run. -json additionally
 // writes the headline (model × deployment) sweep grid as a JSON
-// artifact; the grid is evaluated by internal/sweep, so the file is
-// byte-identical at any worker count.
+// artifact; the grid is evaluated by the sweep layer, so the file is
+// byte-identical at any worker count. -attack swaps the threat model of
+// the metric experiments (the partition, root-cause, and phenomena
+// experiments are defined for the one-hop attack and ignore it).
 package main
 
 import (
@@ -19,12 +22,8 @@ import (
 	"fmt"
 	"os"
 
+	"sbgp"
 	"sbgp/internal/asgraph"
-	"sbgp/internal/deploy"
-	"sbgp/internal/exp"
-	"sbgp/internal/maxk"
-	"sbgp/internal/policy"
-	"sbgp/internal/runner"
 )
 
 func main() {
@@ -37,18 +36,33 @@ func main() {
 	quick := flag.Bool("quick", false, "tiny smoke-run configuration")
 	skipIXP := flag.Bool("skip-ixp", false, "skip the Appendix J IXP-augmented rerun")
 	jsonPath := flag.String("json", "", "also write the headline sweep grid to this file")
+	attackFlag := flag.String("attack", "one-hop",
+		"threat model for the metric experiments: one-hop|none|origin-spoof|pad-K")
 	flag.Parse()
 
-	cfg := exp.Config{N: *n, Seed: *seed, MaxM: *maxM, MaxD: *maxD, MaxPerDest: *perDest, Workers: *workers}
-	if *quick {
-		cfg = exp.Config{N: 800, Seed: *seed, MaxM: 10, MaxD: 12, MaxPerDest: 40, Workers: *workers}
+	attack, err := sbgp.ParseAttack(*attackFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 
-	w := exp.NewWorkload(cfg)
-	fmt.Printf("workload: %d ASes, %d c2p links, %d p2p links, |M|=%d |D|=%d\n",
-		w.G.N(), w.G.NumCustomerProviderLinks(), w.G.NumPeerLinks(), len(w.M), len(w.D))
+	cfg := sbgp.ExperimentConfig{
+		N: *n, Seed: *seed, MaxM: *maxM, MaxD: *maxD, MaxPerDest: *perDest,
+		Attack: attack, Workers: *workers,
+	}
+	if *quick {
+		cfg = sbgp.ExperimentConfig{
+			N: 800, Seed: *seed, MaxM: 10, MaxD: 12, MaxPerDest: 40,
+			Attack: attack, Workers: *workers,
+		}
+	}
 
-	lp := policy.Standard
+	w := sbgp.NewWorkload(cfg)
+	fmt.Printf("workload: %d ASes, %d c2p links, %d p2p links, |M|=%d |D|=%d, attack=%s\n",
+		w.G.N(), w.G.NumCustomerProviderLinks(), w.G.NumPeerLinks(), len(w.M), len(w.D),
+		attack.Name())
+
+	lp := sbgp.StandardLP
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -70,7 +84,7 @@ func main() {
 	report(os.Stdout, w, lp, !*skipIXP, cfg)
 }
 
-func report(out *os.File, w *exp.Workload, lp policy.LocalPref, withIXP bool, cfg exp.Config) {
+func report(out *os.File, w *sbgp.Workload, lp sbgp.LocalPref, withIXP bool, cfg sbgp.ExperimentConfig) {
 	p := func(format string, args ...interface{}) { fmt.Fprintf(out, format, args...) }
 
 	p("\n== E27 / Table 1: tier taxonomy ==\n")
@@ -80,16 +94,17 @@ func report(out *os.File, w *exp.Workload, lp policy.LocalPref, withIXP bool, cf
 	}
 
 	p("\n== E1 / Section 4.2: baseline H_V,V(∅), origin authentication only ==\n")
-	base := w.Baseline(policy.Sec3rd, lp)
+	base := w.Baseline(sbgp.Sec3rd, lp)
 	p("  paper: ≥60%% (62%% IXP-augmented)   measured: lower=%.1f%% upper=%.1f%%\n",
 		100*base.Lo, 100*base.Hi)
 
 	p("\n== E2 / Figure 3: doomed / protectable / immune, all pairs ==\n")
 	p("  paper upper bounds on H(S) ∀S: ~100%% (1st), 89%% (2nd), 75%% (3rd)\n")
 	pf := w.Partitions(lp)
-	for _, m := range policy.Models {
+	for _, m := range sbgp.Models {
 		p("  %-13s immune=%5.1f%%  protectable=%5.1f%%  doomed=%5.1f%%  ⇒ upper bound %5.1f%%\n",
-			m, 100*pf.LowerBound(m), 100*pf.Frac[m][2], 100*pf.Frac[m][1], 100*pf.UpperBound(m))
+			m, 100*pf.LowerBound(m), 100*pf.Frac[m][sbgp.CatProtectable],
+			100*pf.Frac[m][sbgp.CatDoomed], 100*pf.UpperBound(m))
 	}
 
 	p("\n== E3/E4 / Figures 4–5: partitions by destination tier ==\n")
@@ -104,39 +119,40 @@ func report(out *os.File, w *exp.Workload, lp policy.LocalPref, withIXP bool, cf
 		if byAtt[t].Pairs == 0 {
 			continue
 		}
-		f := byAtt[t].Frac[policy.Sec3rd]
+		f := byAtt[t].Frac[sbgp.Sec3rd]
 		p("  attacker %-7s immune=%5.1f%%  doomed=%5.1f%%  (pairs %d)\n",
-			asgraph.Tier(t), 100*f[0], 100*f[1], byAtt[t].Pairs)
+			asgraph.Tier(t), 100*f[sbgp.CatImmune], 100*f[sbgp.CatDoomed], byAtt[t].Pairs)
 	}
 
 	p("\n== E6 / Section 4.7: partitions by source tier (sec 3rd) ==\n")
 	p("  paper: every source tier looks alike (~60%% immune, 25%% doomed, 15%% protectable)\n")
 	bySrc := w.PartitionsBySourceTier(lp)
 	for t := 0; t < asgraph.NumTiers; t++ {
-		f := bySrc[t].Frac[policy.Sec3rd]
+		f := bySrc[t].Frac[sbgp.Sec3rd]
 		if f[0]+f[1]+f[2] == 0 {
 			continue
 		}
 		p("  source %-7s immune=%5.1f%%  doomed=%5.1f%%  protectable=%5.1f%%\n",
-			asgraph.Tier(t), 100*f[0], 100*f[1], 100*f[2])
+			asgraph.Tier(t), 100*f[sbgp.CatImmune], 100*f[sbgp.CatDoomed],
+			100*f[sbgp.CatProtectable])
 	}
 
 	p("\n== E7 / Figure 7(a): Tier 1+2 rollout, ΔH_M',V(S) with simplex error bars ==\n")
 	p("  paper: last step ≈ +24%% (1st), small (2nd≈3rd); simplex stubs barely move the needle\n")
-	steps := deploy.Tier12Rollout(w.G, w.Tiers, false)
+	steps := sbgp.Tier12Rollout(w.G, w.Tiers, false)
 	printRollout(p, w.Rollout(steps, w.D, lp))
 
 	p("\n== E8 / Figure 7(b): same rollout, secure destinations only ==\n")
 	p("  paper: sec 2nd reaches +13–20%% for secure destinations by the last step\n")
 	last := steps[len(steps)-1]
 	deltas := w.SecureDestDeltas(last.Deployment, lp)
-	for _, m := range policy.Models {
-		p("  %-13s mean ΔH over d∈S = %+.1f%%\n", m, 100*exp.MeanDelta(deltas[m]))
+	for _, m := range sbgp.Models {
+		p("  %-13s mean ΔH over d∈S = %+.1f%%\n", m, 100*sbgp.MeanDelta(deltas[m]))
 	}
 
 	p("\n== E9 / Figure 8: Tier 1+2+CP rollout, CP destinations ==\n")
 	p("  paper: ≥26%% (1st), 9.4%% (2nd), 4%% (3rd) at the last step\n")
-	cpSteps := deploy.Tier12CPRollout(w.G, w.Tiers, w.Meta.CPs, false)
+	cpSteps := sbgp.Tier12CPRollout(w.G, w.Tiers, w.Meta.CPs, false)
 	printRollout(p, w.Rollout(cpSteps, w.Meta.CPs, lp))
 
 	p("\n== E10 / Figure 9: per-destination ΔH sequence, T1+T2+stubs ==\n")
@@ -144,14 +160,14 @@ func report(out *os.File, w *exp.Workload, lp policy.LocalPref, withIXP bool, cf
 
 	p("\n== E11/E12 / Figures 10–11: Tier 2-only rollout ==\n")
 	p("  paper: slower growth; the sec 1st vs 2nd gap narrows without Tier 1s\n")
-	t2Steps := deploy.Tier2Rollout(w.G, w.Tiers, false)
+	t2Steps := sbgp.Tier2Rollout(w.G, w.Tiers, false)
 	printRollout(p, w.Rollout(t2Steps, w.D, lp))
 	t2Last := t2Steps[len(t2Steps)-1]
 	printDeltaSeq(p, w.SecureDestDeltas(t2Last.Deployment, lp))
 
 	p("\n== E13 / Figure 12: all non-stubs secure, per-destination ΔH ==\n")
 	p("  paper: worst-case ΔH 6.2%% / 4.7%% / 2.2%%; sec 2nd nearly reaches sec 1st\n")
-	nsDep := deploy.Build(w.G, w.Tiers, deploy.Spec{AllNonStubs: true})
+	nsDep := sbgp.BuildDeployment(w.G, w.Tiers, sbgp.DeploymentSpec{AllNonStubs: true})
 	printDeltaSeq(p, w.SecureDestDeltas(nsDep, lp))
 
 	p("\n== E14 / Section 5.3.1: choice of early adopters ==\n")
@@ -163,7 +179,7 @@ func report(out *os.File, w *exp.Workload, lp policy.LocalPref, withIXP bool, cf
 
 	p("\n== E15 / Figure 13: fate of secure routes to CP destinations (sec 3rd) ==\n")
 	p("  paper: most secure routes are lost to downgrades; the rest sit on immune sources\n")
-	cps, accs := w.CPFate(policy.Sec3rd, lp)
+	cps, accs := w.CPFate(sbgp.Sec3rd, lp)
 	for i, cp := range cps {
 		a := accs[i]
 		p("  CP AS%-5d secure-normal=%5.1f%%  downgraded=%5.1f%%  retained=%5.1f%%\n",
@@ -171,7 +187,7 @@ func report(out *os.File, w *exp.Workload, lp policy.LocalPref, withIXP bool, cf
 	}
 
 	p("\n== E16 / Figure 16: root-cause decomposition, last T1+T2 step ==\n")
-	for _, m := range []policy.Model{policy.Sec3rd, policy.Sec1st} {
+	for _, m := range []sbgp.Model{sbgp.Sec3rd, sbgp.Sec1st} {
 		a := w.RootCause(m, lp)
 		p("  %-13s secure-normal=%.1f%%: downgraded=%.1f%% wasted-on-happy=%.1f%% protected=%.1f%%\n",
 			m, 100*a.SecureNormal, 100*a.Downgraded, 100*a.WastedOnHappy, 100*a.Protected)
@@ -183,46 +199,46 @@ func report(out *os.File, w *exp.Workload, lp policy.LocalPref, withIXP bool, cf
 	p("  paper: downgrades 2nd,3rd; collateral benefits all; collateral damages 1st,2nd\n")
 	ph := w.Phenomena(lp)
 	p("  %-22s", "observed:")
-	for _, m := range policy.Models {
+	for _, m := range sbgp.Models {
 		p("  [%v: dg=%v cb=%v cd=%v]", m, ph.Downgrades[m], ph.CollateralBenefit[m], ph.CollateralDamage[m])
 	}
 	p("\n")
 
 	p("\n== E24 / Theorem 5.1: Max-k-Security on the Appendix I gadget ==\n")
-	gd := maxk.BuildGadget(3, [][]int{{0, 1}, {1, 2}, {0, 2}}, 2)
-	p("  set cover {0,1},{1,2},{0,2} with γ=2: satisfiable=%v (want true)\n", gd.Satisfiable(policy.Sec3rd))
-	gd1 := maxk.BuildGadget(3, [][]int{{0, 1}, {1, 2}, {0, 2}}, 1)
-	p("  same family with γ=1:               satisfiable=%v (want false)\n", gd1.Satisfiable(policy.Sec3rd))
+	gd := sbgp.BuildMaxKGadget(3, [][]int{{0, 1}, {1, 2}, {0, 2}}, 2)
+	p("  set cover {0,1},{1,2},{0,2} with γ=2: satisfiable=%v (want true)\n", gd.Satisfiable(sbgp.Sec3rd))
+	gd1 := sbgp.BuildMaxKGadget(3, [][]int{{0, 1}, {1, 2}, {0, 2}}, 1)
+	p("  same family with γ=1:               satisfiable=%v (want false)\n", gd1.Satisfiable(sbgp.Sec3rd))
 
 	p("\n== E26 / Figures 24–25 (Appendix K): LP2 policy variant ==\n")
 	p("  paper: sec3rd headroom shrinks to ~11–13%%; high tiers mostly immune\n")
-	lpf := w.Partitions(policy.LP2)
-	base2 := w.Baseline(policy.Sec3rd, policy.LP2)
+	lpf := w.Partitions(sbgp.LP2)
+	base2 := w.Baseline(sbgp.Sec3rd, sbgp.LP2)
 	p("  LP2 baseline lower=%.1f%%\n", 100*base2.Lo)
-	for _, m := range policy.Models {
+	for _, m := range sbgp.Models {
 		p("  LP2 %-13s immune=%5.1f%%  doomed=%5.1f%%  ⇒ upper bound %5.1f%%\n",
-			m, 100*lpf.LowerBound(m), 100*lpf.Frac[m][1], 100*lpf.UpperBound(m))
+			m, 100*lpf.LowerBound(m), 100*lpf.Frac[m][sbgp.CatDoomed], 100*lpf.UpperBound(m))
 	}
 	p("  Figure 25 (LP2 partitions by destination tier):\n")
 	p("  paper: high-degree tiers gain immunity; Tier 1 destinations mostly immune under LP2\n")
-	printTierTable(p, w.PartitionsByDestTier(policy.LP2), "dest")
+	printTierTable(p, w.PartitionsByDestTier(sbgp.LP2), "dest")
 
 	if withIXP {
 		p("\n== E25 / Appendix J: IXP-augmented graph ==\n")
-		wi := exp.NewIXPWorkload(cfg)
+		wi := sbgp.NewIXPWorkload(cfg)
 		p("  augmented: %d p2p links (was %d)\n", wi.G.NumPeerLinks(), w.G.NumPeerLinks())
-		basei := wi.Baseline(policy.Sec3rd, lp)
+		basei := wi.Baseline(sbgp.Sec3rd, lp)
 		p("  baseline lower=%.1f%% (paper: 62%%)\n", 100*basei.Lo)
 		pfi := wi.Partitions(lp)
-		for _, m := range policy.Models {
+		for _, m := range sbgp.Models {
 			p("  %-13s immune=%5.1f%%  doomed=%5.1f%%  ⇒ upper bound %5.1f%%\n",
-				m, 100*pfi.LowerBound(m), 100*pfi.Frac[m][1], 100*pfi.UpperBound(m))
+				m, 100*pfi.LowerBound(m), 100*pfi.Frac[m][sbgp.CatDoomed], 100*pfi.UpperBound(m))
 		}
 	}
 }
 
-func printTierTable(p func(string, ...interface{}), buckets []runner.PartitionFractions, kind string) {
-	for _, model := range []policy.Model{policy.Sec3rd, policy.Sec2nd} {
+func printTierTable(p func(string, ...interface{}), buckets []sbgp.PartitionFractions, kind string) {
+	for _, model := range []sbgp.Model{sbgp.Sec3rd, sbgp.Sec2nd} {
 		p("  [%v]\n", model)
 		for t := 0; t < asgraph.NumTiers; t++ {
 			if buckets[t].Pairs == 0 {
@@ -230,15 +246,16 @@ func printTierTable(p func(string, ...interface{}), buckets []runner.PartitionFr
 			}
 			f := buckets[t].Frac[model]
 			p("    %s %-7s immune=%5.1f%%  protectable=%5.1f%%  doomed=%5.1f%%\n",
-				kind, asgraph.Tier(t), 100*f[0], 100*f[2], 100*f[1])
+				kind, asgraph.Tier(t), 100*f[sbgp.CatImmune], 100*f[sbgp.CatProtectable],
+				100*f[sbgp.CatDoomed])
 		}
 	}
 }
 
-func printRollout(p func(string, ...interface{}), pts []exp.RolloutPoint) {
+func printRollout(p func(string, ...interface{}), pts []sbgp.RolloutPoint) {
 	for _, pt := range pts {
 		p("  %-22s (%3d non-stubs, %5d ASes):", pt.Name, pt.NonStubs, pt.SecuredASes)
-		for _, m := range policy.Models {
+		for _, m := range sbgp.Models {
 			p("  %d:%+5.1f..%+5.1f%%(x%+5.1f%%)", int(m)+1,
 				100*pt.Delta[m].Lo, 100*pt.Delta[m].Hi, 100*pt.SimplexDelta[m].Lo)
 		}
@@ -246,14 +263,14 @@ func printRollout(p func(string, ...interface{}), pts []exp.RolloutPoint) {
 	}
 }
 
-func printDeltaSeq(p func(string, ...interface{}), deltas [policy.NumModels][]float64) {
-	for _, m := range policy.Models {
+func printDeltaSeq(p func(string, ...interface{}), deltas [sbgp.NumModels][]float64) {
+	for _, m := range sbgp.Models {
 		seq := deltas[m]
 		if len(seq) == 0 {
 			continue
 		}
 		q := func(f float64) float64 { return 100 * seq[int(f*float64(len(seq)-1))] }
 		p("  %-13s min=%+5.1f%% p25=%+5.1f%% median=%+5.1f%% p75=%+5.1f%% max=%+5.1f%% mean=%+5.1f%%\n",
-			m, q(0), q(0.25), q(0.5), q(0.75), q(1), 100*exp.MeanDelta(seq))
+			m, q(0), q(0.25), q(0.5), q(0.75), q(1), 100*sbgp.MeanDelta(seq))
 	}
 }

@@ -2,9 +2,15 @@
 // (the repository's substitute for the UCLA Cyclops graph; see
 // DESIGN.md) and writes it in the asgraph text format to stdout or a
 // file. With -ixp it emits the IXP-augmented variant of Appendix J.
+//
+// -stats prints a human-readable census to stderr; -json prints the
+// same census as a JSON object instead (matching the -json artifact
+// mode of cmd/experiments), so build pipelines can archive topology
+// provenance next to sweep grids.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -15,49 +21,113 @@ import (
 	"sbgp/internal/topogen"
 )
 
+// options captures the flag surface; run executes it against explicit
+// writers so tests can drive the whole pipeline in-memory.
+type options struct {
+	N     int
+	Seed  int64
+	IXP   bool
+	Out   string // output file; "-" for graphW
+	Stats bool   // human-readable census on statsW
+	JSON  bool   // JSON census on statsW
+}
+
+// stats is the topology census serialized by -json.
+type stats struct {
+	N        int            `json:"n"`
+	Seed     int64          `json:"seed"`
+	C2PLinks int            `json:"c2p_links"`
+	P2PLinks int            `json:"p2p_links"`
+	IXPAdded int            `json:"ixp_links_added,omitempty"`
+	Tiers    map[string]int `json:"tiers"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("topogen: ")
-	n := flag.Int("n", 4000, "number of ASes")
-	seed := flag.Int64("seed", 1, "random seed")
-	ixp := flag.Bool("ixp", false, "emit the IXP-augmented graph")
-	out := flag.String("o", "-", "output file (- for stdout)")
-	stats := flag.Bool("stats", false, "print a tier census to stderr")
+	opts := options{}
+	flag.IntVar(&opts.N, "n", 4000, "number of ASes")
+	flag.Int64Var(&opts.Seed, "seed", 1, "random seed")
+	flag.BoolVar(&opts.IXP, "ixp", false, "emit the IXP-augmented graph")
+	flag.StringVar(&opts.Out, "o", "-", "output file (- for stdout)")
+	flag.BoolVar(&opts.Stats, "stats", false, "print a tier census to stderr")
+	flag.BoolVar(&opts.JSON, "json", false, "print the tier census as JSON to stderr")
 	flag.Parse()
 
-	g, meta, err := topogen.Generate(topogen.Params{N: *n, Seed: *seed})
-	if err != nil {
+	if err := run(opts, os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
-	if *ixp {
-		var added int
-		g, added = asgraph.AugmentIXP(g, meta.IXPs)
-		fmt.Fprintf(os.Stderr, "augmented with %d IXP peering links\n", added)
+}
+
+// run generates the topology and writes the graph to graphW (or
+// opts.Out) and the requested census to statsW. The named result lets
+// the deferred file close surface its error.
+func run(opts options, graphW, statsW io.Writer) (err error) {
+	g, meta, err := topogen.Generate(topogen.Params{N: opts.N, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	var ixpAdded int
+	if opts.IXP {
+		g, ixpAdded = asgraph.AugmentIXP(g, meta.IXPs)
+		if !opts.JSON {
+			fmt.Fprintf(statsW, "augmented with %d IXP peering links\n", ixpAdded)
+		}
 	}
 
-	var w io.Writer = os.Stdout
-	if *out != "-" {
-		f, err := os.Create(*out)
-		if err != nil {
-			log.Fatal(err)
+	w := graphW
+	if opts.Out != "-" {
+		f, ferr := os.Create(opts.Out)
+		if ferr != nil {
+			return ferr
 		}
 		defer func() {
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
 			}
 		}()
 		w = f
 	}
-	if err := asgraph.WriteTo(w, g); err != nil {
-		log.Fatal(err)
+	if werr := asgraph.WriteTo(w, g); werr != nil {
+		return werr
 	}
 
-	if *stats {
-		tiers := asgraph.Classify(g, meta.CPs, nil)
-		fmt.Fprintf(os.Stderr, "%d ASes, %d c2p, %d p2p\n",
-			g.N(), g.NumCustomerProviderLinks(), g.NumPeerLinks())
-		for t := 0; t < asgraph.NumTiers; t++ {
-			fmt.Fprintf(os.Stderr, "  %-7s %d\n", asgraph.Tier(t), len(tiers.Members[asgraph.Tier(t)]))
-		}
+	if opts.JSON {
+		return writeJSONStats(statsW, g, meta, opts, ixpAdded)
 	}
+	if opts.Stats {
+		writeTextStats(statsW, g, meta)
+	}
+	return nil
+}
+
+func census(g *asgraph.Graph, meta *topogen.Meta) *asgraph.Tiers {
+	return asgraph.Classify(g, meta.CPs, nil)
+}
+
+func writeTextStats(w io.Writer, g *asgraph.Graph, meta *topogen.Meta) {
+	tiers := census(g, meta)
+	fmt.Fprintf(w, "%d ASes, %d c2p, %d p2p\n",
+		g.N(), g.NumCustomerProviderLinks(), g.NumPeerLinks())
+	for t := 0; t < asgraph.NumTiers; t++ {
+		fmt.Fprintf(w, "  %-7s %d\n", asgraph.Tier(t), len(tiers.Members[asgraph.Tier(t)]))
+	}
+}
+
+func writeJSONStats(w io.Writer, g *asgraph.Graph, meta *topogen.Meta, opts options, ixpAdded int) error {
+	tiers := census(g, meta)
+	s := stats{
+		N:        g.N(),
+		Seed:     opts.Seed,
+		C2PLinks: g.NumCustomerProviderLinks(),
+		P2PLinks: g.NumPeerLinks(),
+		IXPAdded: ixpAdded,
+		Tiers:    make(map[string]int, asgraph.NumTiers),
+	}
+	for t := 0; t < asgraph.NumTiers; t++ {
+		s.Tiers[asgraph.Tier(t).String()] = len(tiers.Members[asgraph.Tier(t)])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
 }

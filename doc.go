@@ -1,6 +1,6 @@
 // Package sbgp is a from-scratch Go reproduction of "BGP Security in
 // Partial Deployment: Is the Juice Worth the Squeeze?" (Lychev, Goldberg,
-// Schapira; SIGCOMM 2013).
+// Schapira; SIGCOMM 2013) — and the public facade over its machinery.
 //
 // The library models interdomain routing with partially-deployed S*BGP
 // (S-BGP / soBGP / BGPSEC) coexisting with legacy BGP, under the three
@@ -8,28 +8,83 @@
 // studies (security 1st, 2nd, 3rd), and quantifies how much security a
 // partial deployment buys over RPKI origin authentication alone.
 //
-// Packages:
+// # Quick start
+//
+// Declare a Scenario with functional options, materialize it, run it:
+//
+//	sim, err := sbgp.NewScenario(
+//		sbgp.WithGeneratedTopology(4000, 1),
+//		sbgp.WithModel(sbgp.Sec2nd),
+//		sbgp.WithDeployment("t1t2+stubs", sbgp.DeploymentSpec{
+//			NumTier1: 13, NumTier2: 100, IncludeStubs: true,
+//		}),
+//		sbgp.WithAttack(sbgp.PathPadding{Hops: 3}),
+//		sbgp.WithContext(ctx),
+//	).Simulate()
+//	if err != nil { ... }
+//	out, err := sim.Run(d, m)                    // one routing outcome
+//	res, err := sim.Sweep(attackers, dests)      // a whole grid, in parallel
+//	res.WriteJSON(os.Stdout)
+//
+// Every capability is reachable from this package: raw topology
+// construction (NewBuilder, NewSet, SetOf, ClassifyTiers), engines
+// (NewEngine/Engine), partitions (Partitioner), deployment builders
+// (BuildDeployment, the rollout schedules), grid evaluation (Grid,
+// EvaluateGrid), paper experiments (Workload), Max-k-Security
+// (BuildMaxKGadget), and the message-level simulator (NewMessageNet).
+// Consumers outside this module import only "sbgp" (Go's internal rule
+// forbids them anything under sbgp/internal/); the in-repo example
+// programs may additionally use sbgp/internal/asgraph and are held to
+// exactly that boundary by a test.
+//
+// # Attack strategies
+//
+// The threat model is a pluggable strategy (the Attack interface):
+//
+//	one-hop       the paper's Section 3.1 attacker: the bogus one-hop
+//	              path "m, d" via legacy BGP (default)
+//	none          legitimate-origin baseline; m routes as an ordinary AS
+//	pad-K         Section 5.2's smarter attacker: a padded K-hop claim
+//	origin-spoof  classic prefix hijack; universal RPKI (the S = ∅
+//	              baseline) filters it everywhere, so it degenerates to
+//	              normal conditions
+//
+// ParseAttack resolves those names (the -attack flag of cmd/bgpsim and
+// cmd/experiments); custom strategies implement Attack and seed
+// announcements through a Seeder. The default strategy reproduces the
+// pre-interface engine bit for bit — pinned by a golden sweep test.
+//
+// # Cancellation
+//
+// WithContext threads a context through everything a Simulation runs.
+// Sweeps check it cooperatively: cancelling aborts the grid promptly
+// (in-flight engine runs finish, undispatched cells never start),
+// EvaluateGrid/Sweep return ctx.Err(), and partial aggregates are
+// discarded — a cancelled sweep never returns a Result.
+//
+// # Internal layout
 //
 //	internal/asgraph   AS-level topology substrate (relationships, tiers,
 //	                   serialization, IXP augmentation)
 //	internal/topogen   synthetic Internet generator (UCLA-graph stand-in)
 //	internal/policy    routing policy models and stage plans
-//	internal/core      routing-outcome engine (Appendix B), partitions,
-//	                   downgrades, metric bounds — the paper's core
+//	internal/core      routing-outcome engine (Appendix B), attack
+//	                   strategies, partitions, downgrades, metric bounds
 //	internal/bgpsim    message-level BGP/S*BGP simulator (wedgies,
 //	                   convergence, cross-validation)
 //	internal/deploy    partial-deployment scenario builders
 //	internal/maxk      Max-k-Security (NP-hardness gadget, exact, greedy)
 //	internal/rootcause collateral benefit/damage and downgrade accounting
-//	internal/runner    parallel experiment harness (chunked worker pool)
+//	internal/runner    parallel experiment harness (chunked worker pool,
+//	                   context-aware)
 //	internal/sweep     declarative (model × deployment × attacker ×
 //	                   destination) grid evaluation with deterministic
 //	                   aggregation and JSON output
 //	internal/exp       one experiment per paper table/figure
 //
 // The benchmarks in this directory regenerate every evaluation artifact;
-// see DESIGN.md for the experiment index and EXPERIMENTS.md for measured
-// results. Run `make ci` for the checks CI enforces (gofmt, vet, build,
-// test, race) and `scripts/bench.sh` to capture a BENCH_<date>.json
-// benchmark snapshot.
+// see DESIGN.md for the experiment index E1–E27 and the design-choice
+// notes. Run `make ci` for the checks CI enforces (gofmt, vet,
+// staticcheck, build, test, race, example smoke runs) and
+// `scripts/bench.sh` to capture a BENCH_<date>.json benchmark snapshot.
 package sbgp

@@ -2,34 +2,36 @@
 // it walks the Tier 1 + Tier 2 deployment rollout of Section 5.2 and
 // prints, for each security model, how much the security metric improves
 // over origin authentication alone — the "juice" each extra slice of
-// S*BGP deployment buys.
+// S*BGP deployment buys. Everything runs through the public sbgp facade.
 //
-//	go run ./examples/rollout
+//	go run ./examples/rollout [-n 1500]
 package main
 
 import (
+	"flag"
 	"fmt"
 
-	"sbgp/internal/deploy"
-	"sbgp/internal/exp"
-	"sbgp/internal/policy"
+	"sbgp"
 )
 
 func main() {
-	w := exp.NewWorkload(exp.Config{N: 1500, Seed: 7, MaxM: 12, MaxD: 16})
+	n := flag.Int("n", 1500, "topology size")
+	flag.Parse()
+
+	w := sbgp.NewWorkload(sbgp.ExperimentConfig{N: *n, Seed: 7, MaxM: 12, MaxD: 16})
 	fmt.Printf("synthetic Internet: %d ASes; attackers: %d non-stubs; destinations: %d sampled\n\n",
 		w.G.N(), len(w.M), len(w.D))
 
-	base := w.Baseline(policy.Sec3rd, policy.Standard)
+	base := w.Baseline(sbgp.Sec3rd, sbgp.StandardLP)
 	fmt.Printf("origin authentication alone already protects %.1f%%..%.1f%% of sources\n\n",
 		100*base.Lo, 100*base.Hi)
 
-	steps := deploy.Tier12Rollout(w.G, w.Tiers, false)
-	points := w.Rollout(steps, w.D, policy.Standard)
+	steps := sbgp.Tier12Rollout(w.G, w.Tiers, false)
+	points := w.Rollout(steps, w.D, sbgp.StandardLP)
 	fmt.Println("improvement over that baseline (lower bounds):")
 	for _, pt := range points {
 		fmt.Printf("  %-20s (%4d ASes secure):", pt.Name, pt.SecuredASes)
-		for _, m := range policy.Models {
+		for _, m := range sbgp.Models {
 			fmt.Printf("  %s %+5.1f%%", short(m), 100*pt.Delta[m].Lo)
 		}
 		fmt.Println()
@@ -38,7 +40,7 @@ func main() {
 	last := points[len(points)-1]
 	fmt.Println()
 	switch {
-	case last.Delta[policy.Sec3rd].Lo < last.Delta[policy.Sec1st].Lo/3:
+	case last.Delta[sbgp.Sec3rd].Lo < last.Delta[sbgp.Sec1st].Lo/3:
 		fmt.Println("verdict: with the security 3rd policies operators actually favor, the")
 		fmt.Println("juice is meagre — most of the benefit requires ranking security 1st.")
 	default:
@@ -47,11 +49,11 @@ func main() {
 	}
 }
 
-func short(m policy.Model) string {
+func short(m sbgp.Model) string {
 	switch m {
-	case policy.Sec1st:
+	case sbgp.Sec1st:
 		return "1st"
-	case policy.Sec2nd:
+	case sbgp.Sec2nd:
 		return "2nd"
 	default:
 		return "3rd"

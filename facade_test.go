@@ -1,0 +1,214 @@
+package sbgp_test
+
+import (
+	"context"
+	"errors"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sbgp"
+)
+
+// TestScenarioEndToEnd drives the facade the way an external consumer
+// would: declare a scenario, materialize it, run one pair, evaluate a
+// sweep — without touching any internal package beyond asgraph.
+func TestScenarioEndToEnd(t *testing.T) {
+	attack, err := sbgp.ParseAttack("pad-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sbgp.NewScenario(
+		sbgp.WithGeneratedTopology(400, 3),
+		sbgp.WithModel(sbgp.Sec2nd),
+		sbgp.WithNamedDeployment("t1t2"),
+		sbgp.WithAttack(attack),
+		sbgp.WithWorkers(2),
+	).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Graph().N() != 400 {
+		t.Fatalf("graph has %d ASes, want 400", sim.Graph().N())
+	}
+	if sim.Deployment() == nil || sim.Deployment().SecureCount() == 0 {
+		t.Fatal("named deployment t1t2 not materialized")
+	}
+
+	out, err := sim.Run(0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dst != 0 || out.Attacker != 7 {
+		t.Fatalf("outcome for (d=%d, m=%d), want (0, 7)", out.Dst, out.Attacker)
+	}
+	// The padded attacker claims a 2-hop path.
+	if out.Len[7] != 2 || out.Label[7] != sbgp.LabelAttacker {
+		t.Errorf("attacker root = (len %d, %v), want the pad-2 seed", out.Len[7], out.Label[7])
+	}
+
+	normal, err := sim.RunNormal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normal.Attacker != sbgp.NoAS {
+		t.Errorf("RunNormal outcome has attacker %d", normal.Attacker)
+	}
+
+	M, _ := sbgp.SamplePairs(sbgp.NonStubs(sim.Graph()), nil, 4, 0)
+	dests := []sbgp.AS{0, 1, 2}
+	res, err := sim.Sweep(M, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// baseline + t1t2, all three models by default.
+	if len(res.Cells) != 2*sbgp.NumModels {
+		t.Fatalf("sweep has %d cells, want %d", len(res.Cells), 2*sbgp.NumModels)
+	}
+	if res.Attack != "pad-2" {
+		t.Errorf("sweep result names attack %q, want pad-2", res.Attack)
+	}
+	if c := res.Cell("t1t2", sbgp.Sec2nd); c == nil {
+		t.Error("missing t1t2/security 2nd cell")
+	}
+
+	// Invalid runs are rejected, not panicked.
+	if _, err := sim.Run(0, 0); err == nil {
+		t.Error("d == m accepted")
+	}
+	if _, err := sim.Run(100000, 1); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+}
+
+// TestScenarioConfigErrors: configuration mistakes surface as Simulate
+// errors, not panics or silent misconfigurations.
+func TestScenarioConfigErrors(t *testing.T) {
+	if _, err := sbgp.NewScenario(
+		sbgp.WithGeneratedTopology(100, 1),
+		sbgp.WithGraphFile("nope.graph"),
+	).Simulate(); err == nil {
+		t.Error("two topology sources accepted")
+	}
+	if _, err := sbgp.NewScenario(
+		sbgp.WithGeneratedTopology(100, 1),
+		sbgp.WithNamedDeployment("bogus"),
+	).Simulate(); err == nil {
+		t.Error("unknown named deployment accepted")
+	}
+	if _, err := sbgp.NewScenario(
+		sbgp.WithGeneratedTopology(100, 1),
+		sbgp.WithDeployment("x", sbgp.DeploymentSpec{AllNonStubs: true}),
+		sbgp.WithDeployment("x", sbgp.DeploymentSpec{NumTier2: 5}),
+	).Simulate(); err == nil {
+		t.Error("duplicate deployment name accepted")
+	}
+	if _, err := sbgp.NewScenario(sbgp.WithGraphFile("/does/not/exist")).Simulate(); err == nil {
+		t.Error("missing graph file accepted")
+	}
+}
+
+// TestScenarioCancellation: the scenario context gates Simulate, single
+// runs, and sweeps.
+func TestScenarioCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sbgp.NewScenario(
+		sbgp.WithGeneratedTopology(100, 1),
+		sbgp.WithContext(cancelled),
+	).Simulate(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Simulate under a cancelled context: %v, want context.Canceled", err)
+	}
+
+	ctx, cancelMid := context.WithCancel(context.Background())
+	sim, err := sbgp.NewScenario(
+		sbgp.WithGeneratedTopology(600, 2),
+		sbgp.WithNamedDeployment("nonstubs"),
+		sbgp.WithContext(ctx),
+	).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]sbgp.AS, sim.Graph().N())
+	for i := range all {
+		all[i] = sbgp.AS(i)
+	}
+	go func() {
+		time.Sleep(3 * time.Millisecond)
+		cancelMid()
+	}()
+	res, err := sim.Sweep(sbgp.NonStubs(sim.Graph()), all)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Errorf("cancelled sweep returned (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	if _, err := sim.Run(0, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run after cancellation: %v, want context.Canceled", err)
+	}
+}
+
+// TestFacadeRawConstruction builds a topology, deployment, and engine
+// purely through the root package — the only path available to
+// consumers outside this module, which cannot import
+// sbgp/internal/asgraph.
+func TestFacadeRawConstruction(t *testing.T) {
+	b := sbgp.NewBuilder(4)
+	b.AddProviderCustomer(0, 1) // 0 provides for 1
+	b.AddProviderCustomer(1, 2)
+	b.AddProviderCustomer(1, 3)
+	g := b.MustBuild()
+
+	dep := &sbgp.Deployment{Full: sbgp.SetOf(4, 0, 1, 2)}
+	e := sbgp.NewEngine(g, sbgp.Sec1st)
+	out := e.Run(2, 3, dep) // attacker 3 hijacks destination 2
+	if out.Label[0] != sbgp.LabelDest || !out.Secure[0] {
+		t.Errorf("AS0 = (%v, secure=%v), want a secure happy route", out.Label[0], out.Secure[0])
+	}
+	tiers := sbgp.ClassifyTiers(g, nil)
+	if got := tiers.TierOf(2); got != sbgp.TierStub {
+		t.Errorf("AS2 classified %v, want %v", got, sbgp.TierStub)
+	}
+	sim, err := sbgp.NewScenario(sbgp.WithGraph(g, nil)).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Graph().N() != 4 {
+		t.Errorf("scenario graph has %d ASes, want 4", sim.Graph().N())
+	}
+}
+
+// TestExamplesImportOnlyFacade enforces the facade boundary the ISSUE
+// demands: no example program may import an internal package other than
+// asgraph (kept public-ish for raw topology construction).
+func TestExamplesImportOnlyFacade(t *testing.T) {
+	mains, err := filepath.Glob(filepath.Join("examples", "*", "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mains) == 0 {
+		t.Fatal("no example programs found")
+	}
+	for _, path := range mains {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(token.NewFileSet(), path, src, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.HasPrefix(p, "sbgp/internal/") && p != "sbgp/internal/asgraph" {
+				t.Errorf("%s imports %s; examples must use the sbgp facade (asgraph excepted)", path, p)
+			}
+		}
+	}
+}

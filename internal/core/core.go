@@ -5,11 +5,16 @@
 // and the security metric H_{M,D}(S) of Section 4.1 with its upper and
 // lower bounds.
 //
-// The threat model is that of Section 3.1: a single attacker AS m attacks
-// a single destination AS d by announcing the bogus one-hop path "m, d"
-// via legacy (insecure) BGP to all of its neighbors. All other ASes apply
-// the routing policies of Section 2.2 with one of the three placements of
-// the route-security step (security 1st / 2nd / 3rd).
+// The default threat model is that of Section 3.1: a single attacker AS m
+// attacks a single destination AS d by announcing the bogus one-hop path
+// "m, d" via legacy (insecure) BGP to all of its neighbors. The attack is
+// a pluggable strategy (the Attack interface; see attack.go): variants
+// swap the seeded announcements — no attack, padded paths, origin spoofs
+// — while the stage machinery, labels, and metrics stay shared. All other
+// ASes apply the routing policies of Section 2.2 with one of the three
+// placements of the route-security step (security 1st / 2nd / 3rd). The
+// doomed/immune/protectable partitions remain defined for the default
+// one-hop attack, per the paper.
 package core
 
 import (

@@ -136,12 +136,24 @@ func (e *Engine) RunNormal(d asgraph.AS, dep *Deployment) *Outcome {
 }
 
 // Run computes the stable routing outcome when attacker m targets
-// destination d and the ASes in dep are secure. Pass m = asgraph.None for
-// normal conditions. The returned Outcome is owned by the engine and
-// valid until the next Run.
+// destination d with the default strategy — the paper's bogus one-hop
+// "m, d" announcement — and the ASes in dep are secure. Pass
+// m = asgraph.None for normal conditions. The returned Outcome is owned
+// by the engine and valid until the next Run.
 func (e *Engine) Run(d, m asgraph.AS, dep *Deployment) *Outcome {
+	return e.RunAttack(d, m, dep, nil)
+}
+
+// RunAttack is Run with a pluggable threat model: atk seeds the run's
+// route originations (nil means DefaultAttack, the one-hop hijack), and
+// the stage schedule then fixes every other AS identically for all
+// strategies.
+func (e *Engine) RunAttack(d, m asgraph.AS, dep *Deployment, atk Attack) *Outcome {
 	if d == m {
 		panic("core: attacker equals destination")
+	}
+	if atk == nil {
+		atk = DefaultAttack
 	}
 	o := &e.out
 	o.Dst, o.Attacker = d, m
@@ -152,14 +164,9 @@ func (e *Engine) Run(d, m asgraph.AS, dep *Deployment) *Outcome {
 	}
 	e.fixedList = e.fixedList[:0]
 
-	// Roots. The destination originates the true route with length 0;
-	// the attacker originates the bogus "m, d" announcement, which
-	// recipients perceive as a route of length 1 from m (so length
-	// len(m)+1 = 2 at m's neighbors), always insecure because it is
-	// sent via legacy BGP.
-	e.fixRoot(d, 0, dep.OriginSecure(d), LabelDest)
-	if m != asgraph.None {
-		e.fixRoot(m, 1, false, LabelAttacker)
+	atk.Seed(&Seeder{e: e, Dst: d, Attacker: m, Dep: dep})
+	if !e.fixed(d) {
+		panic("core: attack did not seed the destination")
 	}
 
 	for _, st := range e.plan.Stages {

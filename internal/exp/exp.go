@@ -47,18 +47,25 @@ type Workload struct {
 	// MaxPerDest caps per-destination series (Figures 9, 10, 12).
 	MaxPerDest int
 
+	// Attack is the threat model the metric experiments run under; nil
+	// is the paper's one-hop hijack. The partition, root-cause, and
+	// phenomena experiments are defined for the one-hop attack and
+	// ignore it.
+	Attack core.Attack
+
 	Workers int
 }
 
 // Config sizes a workload. The zero value gives the default experiment
 // scale (4000 ASes, 24×32 sampled pairs).
 type Config struct {
-	N          int   // topology size (default 4000)
-	Seed       int64 // generator seed (default 1)
-	MaxM       int   // attacker sample size (default 24)
-	MaxD       int   // destination sample size (default 32)
-	MaxPerDest int   // per-destination series sample (default 200)
-	Workers    int   // 0 = GOMAXPROCS
+	N          int         // topology size (default 4000)
+	Seed       int64       // generator seed (default 1)
+	MaxM       int         // attacker sample size (default 24)
+	MaxD       int         // destination sample size (default 32)
+	MaxPerDest int         // per-destination series sample (default 200)
+	Attack     core.Attack // threat model (nil = one-hop hijack)
+	Workers    int         // 0 = GOMAXPROCS
 }
 
 func (c *Config) applyDefaults() {
@@ -115,6 +122,7 @@ func newWorkloadFromGraph(g *asgraph.Graph, meta *topogen.Meta, cfg Config) *Wor
 		M: M, D: D,
 		DTiered: dTiered, MTiered: mTiered,
 		MaxPerDest: cfg.MaxPerDest,
+		Attack:     cfg.Attack,
 		Workers:    cfg.Workers,
 	}
 }
@@ -128,6 +136,7 @@ func (w *Workload) Baseline(model policy.Model, lp policy.LocalPref) runner.Metr
 		LP:           lp,
 		Attackers:    w.M,
 		Destinations: w.D,
+		Attack:       w.Attack,
 		Workers:      w.Workers,
 	}
 	return grid.MustEvaluate(w.G).Cells[0].Metric
@@ -150,6 +159,7 @@ func (w *Workload) BaselineGrid(lp policy.LocalPref) *sweep.Result {
 		},
 		Attackers:    w.M,
 		Destinations: w.D,
+		Attack:       w.Attack,
 		Workers:      w.Workers,
 	}
 	return grid.MustEvaluate(w.G)
@@ -187,7 +197,7 @@ func (w *Workload) PartitionsBySourceTier(lp policy.LocalPref) []runner.Partitio
 		srcs [policy.NumModels]int64
 	}
 	perDest := make([][]counts, len(w.D))
-	runner.ForEach(len(w.D), w.Workers, func() *core.Partitioner {
+	runner.ForEach(nil, len(w.D), w.Workers, func() *core.Partitioner {
 		return core.NewPartitioner(w.G, lp)
 	}, func(p *core.Partitioner, di int) {
 		d := w.D[di]
@@ -271,6 +281,7 @@ func (w *Workload) Rollout(steps []deploy.Step, D []asgraph.AS, lp policy.LocalP
 		Deployments:  deployments,
 		Attackers:    w.M,
 		Destinations: D,
+		Attack:       w.Attack,
 		Workers:      w.Workers,
 	}
 	res := grid.MustEvaluate(w.G)
@@ -308,6 +319,7 @@ func (w *Workload) SecureDestDeltas(dep *core.Deployment, lp policy.LocalPref) [
 		Attackers:    w.M,
 		Destinations: ds,
 		PerDest:      true,
+		Attack:       w.Attack,
 		Workers:      w.Workers,
 	}
 	res := grid.MustEvaluate(w.G)

@@ -83,7 +83,7 @@ func EvaluatePerDest(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, 
 		secN   []bool // secure under normal conditions
 		baseOK []bool // happy (lower bound) in the baseline attack
 	}
-	runner.ForEach(len(D), workers, func() *state {
+	runner.ForEach(nil, len(D), workers, func() *state {
 		return &state{
 			eng:    core.NewEngineLP(g, model, lp),
 			secN:   make([]bool, g.N()),

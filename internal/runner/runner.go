@@ -7,6 +7,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -63,7 +64,7 @@ func EvalMetric(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *
 // The result is indexed like D.
 func EvalMetricPerDest(g *asgraph.Graph, model policy.Model, lp policy.LocalPref, dep *core.Deployment, M, D []asgraph.AS, workers int) []Metric {
 	out := make([]Metric, len(D))
-	ForEach(len(D), workers, func() *core.Engine {
+	ForEach(nil, len(D), workers, func() *core.Engine {
 		return core.NewEngineLP(g, model, lp)
 	}, func(e *core.Engine, di int) {
 		d := D[di]
@@ -126,7 +127,7 @@ func EvalPartitionsBucketed(g *asgraph.Graph, lp policy.LocalPref, M, D []asgrap
 		pairs int
 	}
 	perDest := make([][]counts, len(D))
-	ForEach(len(D), workers, func() *core.Partitioner {
+	ForEach(nil, len(D), workers, func() *core.Partitioner {
 		return core.NewPartitioner(g, lp)
 	}, func(p *core.Partitioner, di int) {
 		d := D[di]
@@ -192,17 +193,32 @@ const chunkTarget = 8
 // rather than one channel send per index. Any per-index result written
 // to a caller-owned slice is positionally deterministic: the same
 // inputs produce the same outputs at every worker count.
-func ForEach[T any](n, workers int, newState func() T, fn func(state T, di int)) {
+//
+// Cancelling ctx stops the dispatch promptly: every worker re-checks
+// the context before each index, finishes the index it is on, and
+// ForEach returns ctx.Err(). Indices not yet dispatched never run, so
+// on cancellation the caller's partial results must be discarded. A nil
+// ctx means context.Background() (never cancelled); the error is then
+// always nil.
+func ForEach[T any](ctx context.Context, n, workers int, newState func() T, fn func(state T, di int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	w := Workers(workers)
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
-		state := newState()
-		for di := 0; di < n; di++ {
-			fn(state, di)
+		if n > 0 {
+			state := newState()
+			for di := 0; di < n; di++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				fn(state, di)
+			}
 		}
-		return
+		return ctx.Err()
 	}
 	chunk := n / (w * chunkTarget)
 	if chunk < 1 {
@@ -225,12 +241,16 @@ func ForEach[T any](n, workers int, newState func() T, fn func(state T, di int))
 					end = n
 				}
 				for di := start; di < end; di++ {
+					if ctx.Err() != nil {
+						return
+					}
 					fn(state, di)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // SamplePairs deterministically samples up to maxM attackers and maxD

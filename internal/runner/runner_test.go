@@ -1,9 +1,12 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/core"
@@ -18,11 +21,14 @@ func TestForEachCoversAllIndices(t *testing.T) {
 		for _, w := range []int{1, 3, 8, 32} {
 			hits := make([]int32, n)
 			states := new(atomic.Int32)
-			ForEach(n, w, func() int {
+			err := ForEach(nil, n, w, func() int {
 				return int(states.Add(1))
 			}, func(_ int, di int) {
 				atomic.AddInt32(&hits[di], 1)
 			})
+			if err != nil {
+				t.Fatalf("n=%d w=%d: unexpected error %v", n, w, err)
+			}
 			for di := range hits {
 				if hits[di] != 1 {
 					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, di, hits[di])
@@ -31,6 +37,52 @@ func TestForEachCoversAllIndices(t *testing.T) {
 			if n > 0 && int(states.Load()) > Workers(w) {
 				t.Errorf("n=%d w=%d: %d states built for %d workers", n, w, states.Load(), Workers(w))
 			}
+		}
+	}
+}
+
+// TestForEachPreCancelled: a context cancelled before the call runs no
+// index at all and reports the context error, serial and parallel.
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 8} {
+		var ran atomic.Int32
+		err := ForEach(ctx, 1000, w, func() int { return 0 }, func(_, _ int) {
+			ran.Add(1)
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("w=%d: err = %v, want context.Canceled", w, err)
+		}
+		if n := ran.Load(); n != 0 {
+			t.Errorf("w=%d: %d indices ran under a pre-cancelled context", w, n)
+		}
+	}
+}
+
+// TestForEachCancelledMidway cancels from inside an early index and
+// checks the dispatch stops promptly: later indices never run and the
+// context error is reported.
+func TestForEachCancelledMidway(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForEach(ctx, 100_000, w, func() int { return 0 }, func(_, di int) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+			time.Sleep(10 * time.Microsecond)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("w=%d: err = %v, want context.Canceled", w, err)
+		}
+		// Each worker may finish the index it was on plus at most the
+		// ones dispatched before the cancellation propagated; with 100k
+		// indices, running anywhere near all of them means the cancel
+		// check is broken.
+		if n := ran.Load(); n > 50_000 {
+			t.Errorf("w=%d: %d of 100000 indices ran after cancellation", w, n)
 		}
 	}
 }

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/runner"
+	"sbgp/internal/topogen"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenGrid is a fixed, fully deterministic grid: all three models,
+// three deployments (baseline, all non-stubs, every even AS), sampled
+// pairs, per-destination series.
+func goldenGrid(g *asgraph.Graph, workers int) *Grid {
+	all := make([]asgraph.AS, g.N())
+	for i := range all {
+		all[i] = asgraph.AS(i)
+	}
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), all, 6, 8)
+	evens := asgraph.NewSet(g.N())
+	for v := 0; v < g.N(); v += 2 {
+		evens.Add(asgraph.AS(v))
+	}
+	return &Grid{
+		Deployments: []Deployment{
+			{Name: "baseline"},
+			{Name: "nonstubs", Dep: &core.Deployment{Full: asgraph.SetOf(g.N(), asgraph.NonStubs(g)...)}},
+			{Name: "evens", Dep: &core.Deployment{Full: evens}},
+		},
+		Attackers:    M,
+		Destinations: D,
+		PerDest:      true,
+		Workers:      workers,
+	}
+}
+
+// TestGoldenOneHopSweepJSON pins the serialized sweep output of the
+// default attack (the paper's one-hop "m, d" hijack) to a golden file
+// captured from the pre-Attack-interface engine. Any refactor of the
+// engine's seeding or the grid's aggregation that perturbs the default
+// attack's results — at any worker count — fails this test.
+func TestGoldenOneHopSweepJSON(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 500, Seed: 17})
+	path := filepath.Join("testdata", "golden_onehop.json")
+
+	var serial bytes.Buffer
+	if err := goldenGrid(g, 1).MustEvaluate(g).WriteJSON(&serial); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, serial.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(serial.Bytes(), want) {
+		t.Errorf("workers=1 sweep JSON diverges from golden %s:\n--- got ---\n%s", path, serial.String())
+	}
+
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 4
+	}
+	var parallel bytes.Buffer
+	if err := goldenGrid(g, workers).MustEvaluate(g).WriteJSON(&parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(parallel.Bytes(), want) {
+		t.Errorf("workers=%d sweep JSON diverges from golden %s", workers, path)
+	}
+}

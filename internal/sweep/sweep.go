@@ -16,6 +16,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,6 +48,10 @@ type Grid struct {
 	// (the sequences plotted in Figures 9, 10, and 12).
 	PerDest bool
 
+	// Attack is the threat-model strategy every cell runs under; nil is
+	// the default one-hop "m, d" hijack of Section 3.1.
+	Attack core.Attack
+
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
 	Workers int
 }
@@ -65,8 +70,11 @@ type Cell struct {
 
 // Result is a fully evaluated grid.
 type Result struct {
-	GraphN       int    `json:"graph_n"`
-	LP           string `json:"lp"`
+	GraphN int    `json:"graph_n"`
+	LP     string `json:"lp"`
+	// Attack names a non-default threat model; omitted for the one-hop
+	// hijack so default results stay byte-identical across versions.
+	Attack       string `json:"attack,omitempty"`
 	Attackers    int    `json:"attackers"`
 	Destinations int    `json:"destinations"`
 	// Cells is ordered deployment-major, then model, matching the
@@ -101,6 +109,14 @@ type destAcc struct {
 
 // Evaluate expands and evaluates the grid on g.
 func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
+	return gr.EvaluateContext(context.Background(), g)
+}
+
+// EvaluateContext is Evaluate under a context. Cancelling ctx aborts
+// the grid promptly — in-flight cells finish their current engine run,
+// undispatched cells never start — and EvaluateContext returns
+// (nil, ctx.Err()); partial aggregates are discarded, never returned.
+func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result, error) {
 	models := gr.Models
 	if len(models) == 0 {
 		models = policy.Models[:]
@@ -144,7 +160,7 @@ func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
 	type workerState struct {
 		engines [policy.NumModels]*core.Engine
 	}
-	runner.ForEach(tasks, gr.Workers, func() *workerState {
+	err := runner.ForEach(ctx, tasks, gr.Workers, func() *workerState {
 		return &workerState{}
 	}, func(ws *workerState, ti int) {
 		di := ti % nd
@@ -163,7 +179,7 @@ func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
 			if m == d {
 				continue
 			}
-			o := e.Run(d, m, dep)
+			o := e.RunAttack(d, m, dep, gr.Attack)
 			lo, hi := o.HappyBounds()
 			a.lo += lo
 			a.hi += hi
@@ -171,6 +187,9 @@ func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
 		}
 		acc[ti] = a
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Reduce in declaration order.
 	res := &Result{
@@ -179,6 +198,9 @@ func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
 		Attackers:    len(gr.Attackers),
 		Destinations: nd,
 		Cells:        make([]Cell, 0, len(deps)*nm),
+	}
+	if gr.Attack != nil && gr.Attack.Name() != core.DefaultAttack.Name() {
+		res.Attack = gr.Attack.Name()
 	}
 	sources := float64(g.N() - 2)
 	for si, dp := range deps {

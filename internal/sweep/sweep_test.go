@@ -2,9 +2,12 @@ package sweep
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"runtime"
 	"testing"
+	"time"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/core"
@@ -84,6 +87,75 @@ func TestSweepMatchesRunner(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestSweepAttackAxis checks that the grid threads a non-default Attack
+// through to every cell: under NoAttack the metric is the happiness of
+// normal conditions (every source routed to d is happy), and the attack
+// name appears in the serialized result exactly when non-default.
+func TestSweepAttackAxis(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 300, Seed: 4})
+	grid := testGrid(t, g, 0)
+	grid.Attack = core.NoAttack{}
+	res := grid.MustEvaluate(g)
+	if res.Attack != "none" {
+		t.Errorf("result names attack %q, want %q", res.Attack, "none")
+	}
+	for _, cell := range res.Cells {
+		// With no bogus announcement nothing distinguishes the bounds,
+		// and on a connected graph every source reaches d.
+		if cell.Metric.Lo != cell.Metric.Hi {
+			t.Errorf("%s/%s: no-attack bounds differ: %+v", cell.Deployment, cell.Model, cell.Metric)
+		}
+		if cell.Metric.Lo != 1 {
+			t.Errorf("%s/%s: no-attack happiness %v, want 1", cell.Deployment, cell.Model, cell.Metric.Lo)
+		}
+	}
+
+	grid.Attack = core.OneHopHijack{}
+	if res := grid.MustEvaluate(g); res.Attack != "" {
+		t.Errorf("default attack serialized as %q, want omitted", res.Attack)
+	}
+}
+
+// TestEvaluateContextCancellation is the acceptance contract: a grid
+// evaluation whose context is cancelled mid-flight returns ctx.Err()
+// promptly with no partial result, and a pre-cancelled context never
+// starts work.
+func TestEvaluateContextCancellation(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 600, Seed: 6})
+	grid := testGrid(t, g, 4)
+	// Blow the grid up so a full evaluation takes far longer than the
+	// cancellation lead time.
+	all := make([]asgraph.AS, g.N())
+	for i := range all {
+		all[i] = asgraph.AS(i)
+	}
+	grid.Attackers, grid.Destinations = asgraph.NonStubs(g), all
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if res, err := grid.EvaluateContext(pre, g); !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("pre-cancelled: got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := grid.EvaluateContext(ctx, g)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("mid-grid cancel: got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+	// A worker only finishes the (deployment, model, destination) task
+	// it is on — seconds of grid remain, so returning quickly proves
+	// the cancellation propagated rather than the grid completing.
+	if elapsed > 10*time.Second {
+		t.Errorf("cancelled evaluation took %v, want a prompt return", elapsed)
 	}
 }
 

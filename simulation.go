@@ -1,0 +1,159 @@
+package sbgp
+
+import (
+	"context"
+	"fmt"
+)
+
+// Simulation is a materialized Scenario: a validated topology with its
+// tier classification, built deployments, and lazily constructed
+// engines. A Simulation is cheap to query repeatedly but, like the
+// engines it wraps, must not be shared between goroutines; Sweep
+// parallelism is managed internally and safe.
+type Simulation struct {
+	g     *Graph
+	meta  *TopologyMeta
+	tiers *Tiers
+
+	model   Model
+	models  []Model
+	lp      LocalPref
+	attack  Attack
+	workers int
+	ctx     context.Context
+	resolve bool
+
+	// deployments is the sweep axis (primary first); the implicit
+	// baseline is prepended at sweep time.
+	deployments []GridDeployment
+
+	engines     [NumModels]*Engine
+	partitioner *Partitioner
+}
+
+// Graph returns the simulation's topology.
+func (s *Simulation) Graph() *Graph { return s.g }
+
+// Meta returns the topology's generator side information (content
+// providers, IXPs); empty for loaded or user-supplied graphs without
+// metadata.
+func (s *Simulation) Meta() *TopologyMeta { return s.meta }
+
+// Tiers returns the Table 1 tier classification.
+func (s *Simulation) Tiers() *Tiers { return s.tiers }
+
+// Model returns the primary security model.
+func (s *Simulation) Model() Model { return s.model }
+
+// Attack returns the threat-model strategy (nil: the default one-hop
+// hijack).
+func (s *Simulation) Attack() Attack { return s.attack }
+
+// Deployment returns the primary deployment, or nil for the S = ∅
+// baseline.
+func (s *Simulation) Deployment() *Deployment {
+	if len(s.deployments) == 0 {
+		return nil
+	}
+	return s.deployments[0].Dep
+}
+
+// Engine returns the simulation's engine for a security model,
+// constructing it on first use with the scenario's local-preference and
+// tiebreak settings. The engine is owned by the simulation; use it for
+// custom run sequences the convenience methods do not cover.
+func (s *Simulation) Engine(m Model) *Engine {
+	if int(m) < 0 || int(m) >= NumModels {
+		panic(fmt.Sprintf("sbgp: unknown model %v", m))
+	}
+	if s.engines[m] == nil {
+		var opts []EngineOption
+		if s.resolve {
+			opts = append(opts, EngineResolvedTiebreak())
+		}
+		s.engines[m] = NewEngineLP(s.g, m, s.lp, opts...)
+	}
+	return s.engines[m]
+}
+
+// checkRun validates a (destination, attacker) pair against the graph
+// and the scenario context.
+func (s *Simulation) checkRun(d, m AS) error {
+	if err := s.ctx.Err(); err != nil {
+		return err
+	}
+	if int(d) < 0 || int(d) >= s.g.N() {
+		return fmt.Errorf("sbgp: destination AS%d out of range [0,%d)", d, s.g.N())
+	}
+	if m != NoAS && (int(m) < 0 || int(m) >= s.g.N()) {
+		return fmt.Errorf("sbgp: attacker AS%d out of range [0,%d)", m, s.g.N())
+	}
+	if m == d {
+		return fmt.Errorf("sbgp: attacker equals destination (AS%d)", d)
+	}
+	return nil
+}
+
+// Run computes the routing outcome for one (destination, attacker)
+// pair under the primary model, primary deployment, and configured
+// attack. Pass m = NoAS for normal conditions. The outcome is owned by
+// the underlying engine and valid until its next run; Clone to retain.
+func (s *Simulation) Run(d, m AS) (*Outcome, error) {
+	return s.RunWith(s.model, d, m, s.Deployment())
+}
+
+// RunNormal is Run under normal conditions (no attacker).
+func (s *Simulation) RunNormal(d AS) (*Outcome, error) {
+	return s.Run(d, NoAS)
+}
+
+// RunWith is Run with an explicit model and deployment (nil dep: the
+// S = ∅ baseline) — the general form behind the convenience wrappers.
+func (s *Simulation) RunWith(model Model, d, m AS, dep *Deployment) (*Outcome, error) {
+	if err := s.checkRun(d, m); err != nil {
+		return nil, err
+	}
+	return s.Engine(model).RunAttack(d, m, dep, s.attack), nil
+}
+
+// Partition computes the doomed/immune/protectable partition for a
+// pair. Partitions are defined for the paper's one-hop attack
+// regardless of the scenario's attack strategy.
+func (s *Simulation) Partition(d, m AS) (*Partition, error) {
+	if err := s.checkRun(d, m); err != nil {
+		return nil, err
+	}
+	if m == NoAS {
+		return nil, fmt.Errorf("sbgp: partitions need an attacker")
+	}
+	if s.partitioner == nil {
+		s.partitioner = NewPartitioner(s.g, s.lp)
+	}
+	return s.partitioner.Run(d, m), nil
+}
+
+// Sweep evaluates the full scenario grid — every configured model (all
+// three by default) × the implicit baseline plus every configured
+// deployment × the given attacker and destination sets — under the
+// scenario's attack strategy. Results are byte-identical at any worker
+// count; cancelling the scenario context aborts the sweep promptly
+// with ctx.Err().
+func (s *Simulation) Sweep(attackers, destinations []AS) (*Result, error) {
+	grid := &Grid{
+		Models:       s.models,
+		LP:           s.lp,
+		Deployments:  append([]GridDeployment{{Name: "baseline"}}, s.deployments...),
+		Attackers:    attackers,
+		Destinations: destinations,
+		Attack:       s.attack,
+		Workers:      s.workers,
+	}
+	return s.SweepGrid(grid)
+}
+
+// SweepGrid evaluates a caller-assembled grid under the scenario
+// context. The grid's own axes are used as-is; only the context is
+// supplied by the scenario.
+func (s *Simulation) SweepGrid(gr *Grid) (*Result, error) {
+	return gr.EvaluateContext(s.ctx, s.g)
+}
