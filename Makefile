@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt-check vet staticcheck examples-smoke ci
+.PHONY: all build test race bench bench-smoke fmt-check vet staticcheck examples-smoke fuzz-smoke ci
 
 all: build
 
@@ -39,6 +39,14 @@ examples-smoke:
 	$(GO) run ./examples/wedgie >/dev/null
 	@echo "examples OK"
 
+# fuzz-smoke runs each fuzz target briefly against its corpus plus a
+# short exploration — a regression smoke, not a campaign. go test -fuzz
+# takes one target per invocation, hence one line per target.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrom$$' -fuzztime $(FUZZTIME) ./internal/asgraph
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckpointRecord$$' -fuzztime $(FUZZTIME) ./internal/sweep
+
 # bench runs the full benchmark suite at measurement scale.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
@@ -49,4 +57,4 @@ bench-smoke:
 	./scripts/bench.sh
 
 # ci mirrors the blocking jobs of .github/workflows/ci.yml.
-ci: fmt-check vet staticcheck build test race examples-smoke
+ci: fmt-check vet staticcheck build test race examples-smoke fuzz-smoke

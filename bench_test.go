@@ -10,7 +10,10 @@
 package sbgp_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -23,6 +26,7 @@ import (
 	"sbgp/internal/policy"
 	"sbgp/internal/rootcause"
 	"sbgp/internal/runner"
+	"sbgp/internal/sweep"
 	"sbgp/internal/topogen"
 )
 
@@ -461,6 +465,36 @@ func BenchmarkSweepGrid(b *testing.B) {
 			b.Fatalf("grid has %d cells", len(res.Cells))
 		}
 	}
+}
+
+// BenchmarkSweepSharded measures the sharded full-enumeration path on
+// the headline grid: in memory, and with the per-shard fsync'd
+// checkpoint (the durability cost of interruptible sweeps).
+func BenchmarkSweepSharded(b *testing.B) {
+	w := benchWorkload(b)
+	b.Run("memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := w.BaselineGridSharded(context.Background(), policy.Standard, sweep.ShardOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Cells) != 4*policy.NumModels {
+				b.Fatalf("grid has %d cells", len(res.Cells))
+			}
+		}
+	})
+	b.Run("checkpoint", func(b *testing.B) {
+		dir := b.TempDir()
+		for i := 0; i < b.N; i++ {
+			_, err := w.BaselineGridSharded(context.Background(), policy.Standard, sweep.ShardOptions{
+				ShardSize:  64,
+				Checkpoint: filepath.Join(dir, fmt.Sprintf("bench_%d.ckpt", i)),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationParallelism compares the harness at 1 worker vs all

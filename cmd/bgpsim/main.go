@@ -12,13 +12,18 @@
 // With -sweep it instead evaluates the full (model × deployment ×
 // attacker × destination) grid — every security model against the
 // chosen deployment and the baseline, over sampled pairs — and prints
-// the grid as JSON.
+// the grid as JSON. -full drops the sampling and enumerates every
+// (non-stub attacker, destination) pair; -shards/-checkpoint/-resume
+// run the grid through the sharded evaluator with a durable per-shard
+// checkpoint, so an interrupted enumeration resumes instead of
+// restarting (the output stays byte-identical either way).
 //
 // Examples:
 //
 //	bgpsim -n 4000 -d 17 -m 212 -model 2 -deploy t1t2
 //	bgpsim -n 4000 -d 17 -m 212 -deploy t1t2 -attack pad-3
 //	bgpsim -n 4000 -deploy t1t2 -sweep -maxm 24 -maxd 32
+//	bgpsim -n 4000 -deploy t1t2 -sweep -full -checkpoint sweep.ckpt -resume
 package main
 
 import (
@@ -50,6 +55,14 @@ func main() {
 	maxM := flag.Int("maxm", 24, "attacker sample size (with -sweep)")
 	maxD := flag.Int("maxd", 32, "destination sample size (with -sweep)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; with -sweep)")
+	full := flag.Bool("full", false,
+		"with -sweep: enumerate every (non-stub attacker, destination) pair instead of sampling")
+	shards := flag.Int("shards", 0,
+		"with -sweep: cells per shard (0 = default; enables sharded evaluation)")
+	checkpoint := flag.String("checkpoint", "",
+		"with -sweep: JSON-lines checkpoint file (one fsync'd record per completed shard)")
+	resume := flag.Bool("resume", false,
+		"with -sweep: skip shards already recorded in -checkpoint")
 	flag.Parse()
 
 	var model sbgp.Model
@@ -91,14 +104,27 @@ func main() {
 			switch f.Name {
 			case "d", "m", "model", "path":
 				log.Fatalf("-%s selects a single scenario and conflicts with -sweep", f.Name)
+			case "maxm", "maxd":
+				if *full {
+					log.Fatalf("-%s samples pairs and conflicts with -full", f.Name)
+				}
 			}
 		})
-		all := make([]sbgp.AS, g.N())
-		for i := range all {
-			all[i] = sbgp.AS(i)
+		if *resume && *checkpoint == "" {
+			log.Fatal("-resume needs -checkpoint")
 		}
-		M, D := sbgp.SamplePairs(sbgp.NonStubs(g), all, *maxM, *maxD)
-		res, err := sim.Sweep(M, D)
+		M, D := sbgp.NonStubs(g), sbgp.AllASes(g.N())
+		if !*full {
+			M, D = sbgp.SamplePairs(M, D, *maxM, *maxD)
+		}
+		var res *sbgp.Result
+		if *shards > 0 || *checkpoint != "" {
+			res, err = sim.SweepSharded(M, D, sbgp.ShardOptions{
+				ShardSize: *shards, Checkpoint: *checkpoint, Resume: *resume,
+			})
+		} else {
+			res, err = sim.Sweep(M, D)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

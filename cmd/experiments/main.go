@@ -7,7 +7,8 @@
 //
 //	experiments [-n 4000] [-seed 1] [-maxm 24] [-maxd 32] [-perdest 200]
 //	            [-workers 0] [-quick] [-skip-ixp] [-json grid.json]
-//	            [-attack one-hop]
+//	            [-attack one-hop] [-full] [-shards N]
+//	            [-checkpoint sweep.ckpt] [-resume]
 //
 // -quick shrinks everything for a fast smoke run. -json additionally
 // writes the headline (model × deployment) sweep grid as a JSON
@@ -15,9 +16,18 @@
 // byte-identical at any worker count. -attack swaps the threat model of
 // the metric experiments (the partition, root-cause, and phenomena
 // experiments are defined for the one-hop attack and ignore it).
+//
+// -full replaces the MaxM/MaxD pair sampling with the paper's full
+// enumeration: every non-stub attacker × every destination (Appendix
+// H's BlueGene methodology). -shards, -checkpoint, and -resume run the
+// -json grid through the sharded evaluator — fixed-size shards, one
+// fsync'd checkpoint record per completed shard — so a full enumeration
+// survives interruption: rerun with -resume and the completed shards
+// are skipped, with byte-identical output.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,22 +48,40 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the headline sweep grid to this file")
 	attackFlag := flag.String("attack", "one-hop",
 		"threat model for the metric experiments: one-hop|none|origin-spoof|pad-K")
+	full := flag.Bool("full", false,
+		"enumerate every (non-stub attacker, destination) pair instead of sampling")
+	shards := flag.Int("shards", 0,
+		"cells per shard for the -json grid (0 = default; enables sharded evaluation)")
+	checkpoint := flag.String("checkpoint", "",
+		"JSON-lines checkpoint file for the -json grid (one fsync'd record per shard)")
+	resume := flag.Bool("resume", false,
+		"skip shards already recorded in -checkpoint")
 	flag.Parse()
 
-	attack, err := sbgp.ParseAttack(*attackFlag)
-	if err != nil {
+	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	attack, err := sbgp.ParseAttack(*attackFlag)
+	if err != nil {
+		fail(err)
+	}
+	sharded := *shards > 0 || *checkpoint != "" || *resume
+	if sharded && *jsonPath == "" {
+		fail(fmt.Errorf("-shards/-checkpoint/-resume evaluate the headline grid and need -json"))
+	}
+	if *resume && *checkpoint == "" {
+		fail(fmt.Errorf("-resume needs -checkpoint"))
 	}
 
 	cfg := sbgp.ExperimentConfig{
 		N: *n, Seed: *seed, MaxM: *maxM, MaxD: *maxD, MaxPerDest: *perDest,
-		Attack: attack, Workers: *workers,
+		Attack: attack, Workers: *workers, FullEnumeration: *full,
 	}
 	if *quick {
 		cfg = sbgp.ExperimentConfig{
 			N: 800, Seed: *seed, MaxM: 10, MaxD: 12, MaxPerDest: 40,
-			Attack: attack, Workers: *workers,
+			Attack: attack, Workers: *workers, FullEnumeration: *full,
 		}
 	}
 
@@ -66,18 +94,29 @@ func main() {
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
-		res := w.BaselineGrid(lp)
+		var res *sbgp.Result
+		if sharded {
+			res, err = w.BaselineGridSharded(context.Background(), lp, sbgp.ShardOptions{
+				ShardSize:  *shards,
+				Checkpoint: *checkpoint,
+				Resume:     *resume,
+			})
+			if err != nil {
+				f.Close()
+				fail(err)
+			}
+		} else {
+			res = w.BaselineGrid(lp)
+		}
 		if err := res.WriteJSON(f); err == nil {
 			err = f.Close()
 		} else {
 			f.Close()
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("wrote %d-cell sweep grid to %s\n", len(res.Cells), *jsonPath)
 	}

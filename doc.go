@@ -26,6 +26,17 @@
 //	res, err := sim.Sweep(attackers, dests)      // a whole grid, in parallel
 //	res.WriteJSON(os.Stdout)
 //
+// For the paper's full |V|² methodology, evaluate the grid sharded and
+// durable — every completed shard is checkpointed (fsync'd) and a
+// cancelled sweep resumes without re-evaluating it, with byte-identical
+// output either way:
+//
+//	res, err := sim.SweepSharded(sbgp.NonStubs(g), sbgp.AllASes(g.N()),
+//		sbgp.ShardOptions{Checkpoint: "sweep.ckpt", Resume: true})
+//
+// (scenario defaults: WithShardSize, WithCheckpoint, WithResume; the
+// CLIs expose the same via -full/-shards/-checkpoint/-resume.)
+//
 // Every capability is reachable from this package: raw topology
 // construction (NewBuilder, NewSet, SetOf, ClassifyTiers), engines
 // (NewEngine/Engine), partitions (Partitioner), deployment builders
@@ -60,7 +71,10 @@
 // Sweeps check it cooperatively: cancelling aborts the grid promptly
 // (in-flight engine runs finish, undispatched cells never start),
 // EvaluateGrid/Sweep return ctx.Err(), and partial aggregates are
-// discarded — a cancelled sweep never returns a Result.
+// discarded — a cancelled sweep never returns a Result. A cancelled
+// *sharded* sweep keeps its completed shards in the checkpoint file;
+// resuming skips exactly those shards and reproduces the uninterrupted
+// result byte for byte.
 //
 // # Internal layout
 //
@@ -79,7 +93,8 @@
 //	                   context-aware)
 //	internal/sweep     declarative (model × deployment × attacker ×
 //	                   destination) grid evaluation with deterministic
-//	                   aggregation and JSON output
+//	                   aggregation, sharded full enumeration with
+//	                   checkpoint/resume, and JSON output
 //	internal/exp       one experiment per paper table/figure
 //
 // The benchmarks in this directory regenerate every evaluation artifact;

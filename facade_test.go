@@ -1,6 +1,7 @@
 package sbgp_test
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"go/parser"
@@ -148,6 +149,68 @@ func TestScenarioCancellation(t *testing.T) {
 	}
 	if _, err := sim.Run(0, 1); !errors.Is(err, context.Canceled) {
 		t.Errorf("Run after cancellation: %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepShardedFacade drives the sharded sweep through the scenario
+// surface: WithCheckpoint/WithShardSize configure the defaults,
+// SweepSharded matches Sweep byte for byte, and a second simulation
+// with WithResume reuses the checkpoint instead of re-evaluating.
+func TestSweepShardedFacade(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "sweep.ckpt")
+	opts := func(extra ...sbgp.Option) []sbgp.Option {
+		return append([]sbgp.Option{
+			sbgp.WithGeneratedTopology(300, 5),
+			sbgp.WithNamedDeployment("t2"),
+			sbgp.WithShardSize(11),
+			sbgp.WithCheckpoint(ckpt),
+		}, extra...)
+	}
+	sim, err := sbgp.NewScenario(opts()...).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	M, _ := sbgp.SamplePairs(sbgp.NonStubs(sim.Graph()), nil, 6, 0)
+	D := sbgp.AllASes(sim.Graph().N())[:10]
+
+	plain, err := sim.Sweep(M, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := sim.SweepSharded(M, D, sbgp.ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := plain.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sharded.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("SweepSharded diverges from Sweep")
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("WithCheckpoint wrote no checkpoint: %v", err)
+	}
+
+	// A fresh simulation resuming the same scenario reproduces the
+	// result from the checkpoint alone.
+	sim2, err := sbgp.NewScenario(opts(sbgp.WithResume())...).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := sim2.SweepSharded(M, D, sbgp.ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := resumed.WriteJSON(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("resumed SweepSharded diverges from the original Sweep")
 	}
 }
 

@@ -1,0 +1,87 @@
+package asgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrom throws arbitrary text at the topology parser. ReadFrom
+// must never panic or tear down the process — malformed lines,
+// out-of-range or int32-overflowing indices, duplicate edges, and
+// absurd n directives all return errors — and any input it does accept
+// must survive a serialize/reparse round trip unchanged.
+func FuzzReadFrom(f *testing.F) {
+	seeds := []string{
+		"# comment\nn 3\np2c 0 1\np2c 0 2\np2p 1 2\n",
+		"n 4\nasn 2 64512\np2c 3 2\n",
+		"n 0\n",
+		"",
+		"p2c 0 1\n",
+		"n 2\nn 2\n",
+		"n 2\np2c 0 0\n",
+		"n 2\np2c 0 1\np2p 0 1\n",
+		"n 2\np2c 0 5\n",
+		"n 2\np2c -1 0\n",
+		"n 2\np2c 4294967297 0\n",
+		"n 999999999999\n",
+		"n 9000000\n",
+		"n 2\nasn 0 99999999999\n",
+		"n 2\nbogus 0 1\n",
+		"n 2\np2c 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadFrom(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if g.N() > MaxReadASes {
+			t.Fatalf("accepted %d ASes past the MaxReadASes cap", g.N())
+		}
+		// Round trip: anything accepted serializes and reparses to the
+		// same topology, byte for byte.
+		var out bytes.Buffer
+		if err := WriteTo(&out, g); err != nil {
+			t.Fatalf("serializing an accepted graph: %v", err)
+		}
+		g2, err := ReadFrom(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("reparsing serialized output: %v\n%s", err, out.String())
+		}
+		if g2.N() != g.N() || g2.NumCustomerProviderLinks() != g.NumCustomerProviderLinks() ||
+			g2.NumPeerLinks() != g.NumPeerLinks() {
+			t.Fatalf("round trip changed the graph: (%d ASes, %d c2p, %d p2p) -> (%d, %d, %d)",
+				g.N(), g.NumCustomerProviderLinks(), g.NumPeerLinks(),
+				g2.N(), g2.NumCustomerProviderLinks(), g2.NumPeerLinks())
+		}
+		var out2 bytes.Buffer
+		if err := WriteTo(&out2, g2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("serialization is not a fixed point of the round trip")
+		}
+	})
+}
+
+// TestReadFromRejectsHostileInputs pins the parser hardening the fuzz
+// target relies on: the n cap and the int32 index overflow check.
+func TestReadFromRejectsHostileInputs(t *testing.T) {
+	for _, input := range []string{
+		"n 4194305\n",             // past MaxReadASes: would pre-commit GBs
+		"n 2\np2c 4294967298 0\n", // wraps to AS 2 if truncated to int32
+		"n 2\np2p 0 8589934593\n", // wraps to AS 1
+		"n 2\nasn 0 4294967296\n", // ASN value overflows int32
+	} {
+		if g, err := ReadFrom(strings.NewReader(input)); err == nil {
+			t.Errorf("accepted %q as a %d-AS graph", input, g.N())
+		}
+	}
+	// The cap itself is inclusive.
+	if _, err := ReadFrom(strings.NewReader("n 4194304\n")); err != nil {
+		t.Errorf("rejected a graph at exactly MaxReadASes: %v", err)
+	}
+}

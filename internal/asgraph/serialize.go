@@ -19,6 +19,13 @@ import (
 // It is a stand-in for the UCLA Cyclops dumps the paper preprocessed
 // (Section 2.2); cmd/topogen emits it and all CLIs read it.
 
+// MaxReadASes caps the n directive ReadFrom accepts. The real AS-level
+// Internet is under 10⁵ vertices and the generator tops out far below
+// this, so the only inputs the cap rejects are corrupt or hostile files
+// that would otherwise commit gigabytes of adjacency headers before the
+// first edge parses.
+const MaxReadASes = 1 << 22
+
 // WriteTo serializes g in the text format above.
 func WriteTo(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
@@ -66,6 +73,9 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("line %d: bad AS count %q", line, fields[1])
 			}
+			if n > MaxReadASes {
+				return nil, fmt.Errorf("line %d: AS count %d exceeds the %d limit", line, n, MaxReadASes)
+			}
 			b = NewBuilder(n)
 		case "p2c", "p2p", "asn":
 			if b == nil {
@@ -74,8 +84,12 @@ func ReadFrom(r io.Reader) (*Graph, error) {
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("line %d: %s needs two arguments", line, fields[0])
 			}
-			x, err1 := strconv.Atoi(fields[1])
-			y, err2 := strconv.Atoi(fields[2])
+			// Parse as int32 directly: a plain int conversion would
+			// silently truncate huge indices into valid-looking small
+			// ones instead of failing. Negatives and indices ≥ n are
+			// rejected by the builder.
+			x, err1 := strconv.ParseInt(fields[1], 10, 32)
+			y, err2 := strconv.ParseInt(fields[2], 10, 32)
 			if err1 != nil || err2 != nil {
 				return nil, fmt.Errorf("line %d: bad AS index", line)
 			}

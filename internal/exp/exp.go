@@ -4,14 +4,19 @@
 // repository-level benchmarks wrap these functions so `go test -bench`
 // regenerates every artifact.
 //
-// The workload substitutes a synthetic topology for the UCLA graph and a
-// deterministic sample of attacker-destination pairs for the paper's
-// full |V|² enumeration (see DESIGN.md); the *shape* of every result —
-// who wins, by roughly what factor, where the crossovers fall — is the
-// reproduction target, not the absolute numbers.
+// The workload substitutes a synthetic topology for the UCLA graph and,
+// by default, a deterministic sample of attacker-destination pairs for
+// the paper's full |V|² enumeration (see DESIGN.md); the *shape* of
+// every result — who wins, by roughly what factor, where the crossovers
+// fall — is the reproduction target, not the absolute numbers.
+// Config.FullEnumeration restores the paper's actual methodology —
+// every non-stub attacker against every destination — which is meant to
+// run through the sweep layer's sharded, checkpointable evaluator
+// (Workload.BaselineGridSharded).
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -66,6 +71,14 @@ type Config struct {
 	MaxPerDest int         // per-destination series sample (default 200)
 	Attack     core.Attack // threat model (nil = one-hop hijack)
 	Workers    int         // 0 = GOMAXPROCS
+
+	// FullEnumeration replaces the MaxM/MaxD sampling with the paper's
+	// actual methodology (Appendix H): every non-stub attacker × every
+	// destination, and tier strata kept whole. MaxM and MaxD are
+	// ignored; combine with the sweep layer's sharded evaluation
+	// (Workload.BaselineGridSharded, cmd flags -shards/-checkpoint) to
+	// run the resulting |M′|×|V| grid with durable progress.
+	FullEnumeration bool
 }
 
 func (c *Config) applyDefaults() {
@@ -103,13 +116,14 @@ func NewIXPWorkload(cfg Config) *Workload {
 
 func newWorkloadFromGraph(g *asgraph.Graph, meta *topogen.Meta, cfg Config) *Workload {
 	tiers := asgraph.Classify(g, meta.CPs, nil)
-	all := make([]asgraph.AS, g.N())
-	for i := range all {
-		all[i] = asgraph.AS(i)
-	}
+	all := runner.AllASes(g.N())
 	nonStubs := asgraph.NonStubs(g)
 	M, D := runner.SamplePairs(nonStubs, all, cfg.MaxM, cfg.MaxD)
 	quota := cfg.MaxD/2 + 1
+	if cfg.FullEnumeration {
+		M, D = nonStubs, all
+		quota = 0 // whole tiers
+	}
 	var dTiered, mTiered []asgraph.AS
 	for t := 0; t < asgraph.NumTiers; t++ {
 		members, _ := runner.SamplePairs(tiers.Members[asgraph.Tier(t)], nil, quota, 0)
@@ -142,14 +156,13 @@ func (w *Workload) Baseline(model policy.Model, lp policy.LocalPref) runner.Metr
 	return grid.MustEvaluate(w.G).Cells[0].Metric
 }
 
-// BaselineGrid computes the headline (model × deployment) grid over the
-// workload's sampled pairs: the baseline plus the named rollout
-// endpoints, for every security model. cmd/experiments serializes it as
-// the JSON artifact.
-func (w *Workload) BaselineGrid(lp policy.LocalPref) *sweep.Result {
+// baselineGrid declares the headline (model × deployment) grid over the
+// workload's pair sets: the baseline plus the named rollout endpoints,
+// for every security model.
+func (w *Workload) baselineGrid(lp policy.LocalPref) *sweep.Grid {
 	t12 := deploy.Tier12Rollout(w.G, w.Tiers, false)
 	t2 := deploy.Tier2Rollout(w.G, w.Tiers, false)
-	grid := &sweep.Grid{
+	return &sweep.Grid{
 		LP: lp,
 		Deployments: []sweep.Deployment{
 			{Name: "baseline"},
@@ -162,7 +175,20 @@ func (w *Workload) BaselineGrid(lp policy.LocalPref) *sweep.Result {
 		Attack:       w.Attack,
 		Workers:      w.Workers,
 	}
-	return grid.MustEvaluate(w.G)
+}
+
+// BaselineGrid evaluates the headline grid in memory. cmd/experiments
+// serializes it as the JSON artifact.
+func (w *Workload) BaselineGrid(lp policy.LocalPref) *sweep.Result {
+	return w.baselineGrid(lp).MustEvaluate(w.G)
+}
+
+// BaselineGridSharded evaluates the headline grid through the sharded
+// path — the way to run it under FullEnumeration, where the cell space
+// is |M′| × |V| per (deployment, model) — with optional durable
+// checkpoint/resume. The result is byte-identical to BaselineGrid.
+func (w *Workload) BaselineGridSharded(ctx context.Context, lp policy.LocalPref, opts sweep.ShardOptions) (*sweep.Result, error) {
+	return w.baselineGrid(lp).EvaluateSharded(ctx, w.G, opts)
 }
 
 // Partitions computes E2 (Figure 3): doomed/protectable/immune fractions

@@ -1,11 +1,15 @@
 package exp
 
 import (
+	"bytes"
+	"context"
+	"path/filepath"
 	"testing"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/deploy"
 	"sbgp/internal/policy"
+	"sbgp/internal/sweep"
 )
 
 // testWorkload is shared across tests; building it dominates test time.
@@ -158,6 +162,48 @@ func TestPhenomenaTheoremSides(t *testing.T) {
 	}
 	if !ph.Downgrades[policy.Sec3rd] || !ph.Downgrades[policy.Sec2nd] {
 		t.Error("downgrades should be observed under security 2nd and 3rd on this workload")
+	}
+}
+
+func TestFullEnumerationWorkload(t *testing.T) {
+	cfg := Config{N: 200, Seed: 9, FullEnumeration: true}
+	w := NewWorkload(cfg)
+	if len(w.M) != len(w.NonStubs) {
+		t.Errorf("full enumeration sampled attackers: |M|=%d, want |M′|=%d", len(w.M), len(w.NonStubs))
+	}
+	if len(w.D) != w.G.N() {
+		t.Errorf("full enumeration sampled destinations: |D|=%d, want |V|=%d", len(w.D), w.G.N())
+	}
+	total := 0
+	for tier := 0; tier < asgraph.NumTiers; tier++ {
+		total += len(w.Tiers.Members[tier])
+	}
+	if len(w.DTiered) != total {
+		t.Errorf("full enumeration truncated tier strata: %d of %d members", len(w.DTiered), total)
+	}
+
+	// The sharded headline grid must be byte-identical to the in-memory
+	// evaluation, resumable from its own checkpoint included.
+	ckpt := filepath.Join(t.TempDir(), "grid.ckpt")
+	var want bytes.Buffer
+	if err := w.BaselineGrid(policy.Standard).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []sweep.ShardOptions{
+		{ShardSize: 64, Checkpoint: ckpt},
+		{ShardSize: 64, Checkpoint: ckpt, Resume: true},
+	} {
+		res, err := w.BaselineGridSharded(context.Background(), policy.Standard, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := res.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("sharded baseline grid (resume=%v) diverges from BaselineGrid", opts.Resume)
+		}
 	}
 }
 

@@ -253,6 +253,18 @@ func ForEach[T any](ctx context.Context, n, workers int, newState func() T, fn f
 	return ctx.Err()
 }
 
+// AllASes returns the full population 0..n-1 — the destination set
+// D = V (and, with stubs, the attacker set) of the paper's full |V|²
+// enumeration (Appendix H), which the sharded sweep path evaluates
+// without sampling.
+func AllASes(n int) []asgraph.AS {
+	out := make([]asgraph.AS, n)
+	for i := range out {
+		out[i] = asgraph.AS(i)
+	}
+	return out
+}
+
 // SamplePairs deterministically samples up to maxM attackers and maxD
 // destinations from the given candidate sets, using a fixed stride so
 // results are reproducible without materializing a PRNG. Pass

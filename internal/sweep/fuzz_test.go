@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCheckpointRecord throws arbitrary bytes at the checkpoint-line
+// decoder. It must never panic; anything it accepts must satisfy the
+// decoder's documented invariants and re-encode/re-decode to the same
+// record (so resume can trust every accepted line).
+func FuzzCheckpointRecord(f *testing.F) {
+	seeds := []string{
+		`{"v":1,"kind":"header","fingerprint":"0123456789abcdef","cells":288,"shard_size":13,"shards":23}`,
+		`{"kind":"shard","shard":0,"tasks":[0,1,2],"lo":[781,1527,209],"hi":[980,1705,247],"pairs":[5,6,1]}`,
+		`{"kind":"shard","shard":7}`,
+		`{"kind":"shard","shard":-1}`,
+		`{"kind":"header","v":2}`,
+		`{"kind":"shard","shard":1,"tasks":[2,1],"lo":[1,1],"hi":[1,1],"pairs":[1,1]}`,
+		`{"kind":"shard","shard":1,"tasks":[1],"lo":[9],"hi":[1],"pairs":[1]}`,
+		`{}`,
+		`null`,
+		`garbage`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		hdr, p, err := decodeCheckpointLine(line)
+		if err != nil {
+			return
+		}
+		switch {
+		case hdr != nil:
+			if hdr.V != checkpointVersion || len(hdr.Fingerprint) != 16 ||
+				hdr.Cells <= 0 || hdr.ShardSize <= 0 || hdr.Shards != numShards(hdr.Cells, hdr.ShardSize) {
+				t.Fatalf("accepted header violates invariants: %+v", hdr)
+			}
+			reencoded, err := json.Marshal(hdr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hdr2, _, err := decodeCheckpointLine(reencoded)
+			if err != nil || hdr2 == nil || *hdr2 != *hdr {
+				t.Fatalf("header does not round-trip: %s -> %+v (%v)", reencoded, hdr2, err)
+			}
+		case p != nil:
+			if p.Shard < 0 {
+				t.Fatalf("accepted negative shard index %d", p.Shard)
+			}
+			n := len(p.Tasks)
+			if len(p.Lo) != n || len(p.Hi) != n || len(p.Pairs) != n {
+				t.Fatalf("accepted ragged shard record: %+v", p)
+			}
+			for i := 0; i < n; i++ {
+				if p.Tasks[i] < 0 || (i > 0 && p.Tasks[i] <= p.Tasks[i-1]) ||
+					p.Pairs[i] <= 0 || p.Lo[i] < 0 || p.Hi[i] < p.Lo[i] {
+					t.Fatalf("accepted shard record violates invariants at %d: %+v", i, p)
+				}
+			}
+			reencoded, err := json.Marshal(shardRecord{Kind: recordShard, ShardPartial: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, p2, err := decodeCheckpointLine(reencoded); err != nil || p2 == nil || p2.Shard != p.Shard {
+				t.Fatalf("shard record does not round-trip: %s (%v)", reencoded, err)
+			}
+		default:
+			t.Fatal("decode returned neither header nor shard without error")
+		}
+	})
+}

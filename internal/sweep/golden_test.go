@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -19,12 +20,8 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // goldenGrid is a fixed, fully deterministic grid: all three models,
 // three deployments (baseline, all non-stubs, every even AS), sampled
 // pairs, per-destination series.
-func goldenGrid(g *asgraph.Graph, workers int) *Grid {
-	all := make([]asgraph.AS, g.N())
-	for i := range all {
-		all[i] = asgraph.AS(i)
-	}
-	M, D := runner.SamplePairs(asgraph.NonStubs(g), all, 6, 8)
+func goldenGrid(g *asgraph.Graph, workers int, attack core.Attack) *Grid {
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 6, 8)
 	evens := asgraph.NewSet(g.N())
 	for v := 0; v < g.N(); v += 2 {
 		evens.Add(asgraph.AS(v))
@@ -38,48 +35,100 @@ func goldenGrid(g *asgraph.Graph, workers int) *Grid {
 		Attackers:    M,
 		Destinations: D,
 		PerDest:      true,
+		Attack:       attack,
 		Workers:      workers,
 	}
 }
 
-// TestGoldenOneHopSweepJSON pins the serialized sweep output of the
-// default attack (the paper's one-hop "m, d" hijack) to a golden file
-// captured from the pre-Attack-interface engine. Any refactor of the
-// engine's seeding or the grid's aggregation that perturbs the default
-// attack's results — at any worker count — fails this test.
-func TestGoldenOneHopSweepJSON(t *testing.T) {
+// TestGoldenSweepJSON pins the serialized sweep output of every shipped
+// attack seeder to a golden file — the one-hop golden was captured from
+// the pre-Attack-interface engine, so the default strategy is pinned
+// bit-for-bit to the original hard-coded seeding. Any refactor of an
+// attack's seeding or the grid's aggregation that perturbs results — at
+// any worker count, and through the sharded path — fails this test.
+func TestGoldenSweepJSON(t *testing.T) {
 	g, _ := topogen.MustGenerate(topogen.Params{N: 500, Seed: 17})
-	path := filepath.Join("testdata", "golden_onehop.json")
+	cases := []struct {
+		name   string
+		file   string
+		attack core.Attack
+	}{
+		// nil (not OneHopHijack{}) matches the engine's default path and
+		// keeps the pre-interface golden bytes authoritative.
+		{"one-hop", "golden_onehop.json", nil},
+		{"none", "golden_none.json", core.NoAttack{}},
+		{"pad-3", "golden_pad3.json", core.PathPadding{Hops: 3}},
+		{"origin-spoof", "golden_originspoof.json", core.OriginSpoof{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join("testdata", tc.file)
+			var serial bytes.Buffer
+			if err := goldenGrid(g, 1, tc.attack).MustEvaluate(g).WriteJSON(&serial); err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, serial.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to regenerate): %v", err)
+			}
+			if !bytes.Equal(serial.Bytes(), want) {
+				t.Errorf("workers=1 sweep JSON diverges from golden %s:\n--- got ---\n%s", path, serial.String())
+			}
 
-	var serial bytes.Buffer
-	if err := goldenGrid(g, 1).MustEvaluate(g).WriteJSON(&serial); err != nil {
-		t.Fatal(err)
+			workers := runtime.NumCPU()
+			if workers < 2 {
+				workers = 4
+			}
+			var parallel bytes.Buffer
+			if err := goldenGrid(g, workers, tc.attack).MustEvaluate(g).WriteJSON(&parallel); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(parallel.Bytes(), want) {
+				t.Errorf("workers=%d sweep JSON diverges from golden %s", workers, path)
+			}
+
+			// The sharded evaluator must land on the same bytes.
+			res, err := goldenGrid(g, workers, tc.attack).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: 37})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sharded bytes.Buffer
+			if err := res.WriteJSON(&sharded); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sharded.Bytes(), want) {
+				t.Errorf("sharded sweep JSON diverges from golden %s", path)
+			}
+		})
 	}
-	if *update {
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(path, serial.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(path)
+}
+
+// TestGoldenOriginSpoofReduction pins the Section 4.2 reduction at the
+// golden-file level: origin-spoof is RPKI-filtered everywhere, so its
+// golden must equal the no-attack golden byte for byte apart from the
+// serialized attack name.
+func TestGoldenOriginSpoofReduction(t *testing.T) {
+	spoof, err := os.ReadFile(filepath.Join("testdata", "golden_originspoof.json"))
 	if err != nil {
-		t.Fatalf("missing golden file (run with -update to regenerate): %v", err)
-	}
-	if !bytes.Equal(serial.Bytes(), want) {
-		t.Errorf("workers=1 sweep JSON diverges from golden %s:\n--- got ---\n%s", path, serial.String())
-	}
-
-	workers := runtime.NumCPU()
-	if workers < 2 {
-		workers = 4
-	}
-	var parallel bytes.Buffer
-	if err := goldenGrid(g, workers).MustEvaluate(g).WriteJSON(&parallel); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(parallel.Bytes(), want) {
-		t.Errorf("workers=%d sweep JSON diverges from golden %s", workers, path)
+	none, err := os.ReadFile(filepath.Join("testdata", "golden_none.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	renamed := bytes.Replace(spoof, []byte(`"attack": "origin-spoof"`), []byte(`"attack": "none"`), 1)
+	if bytes.Equal(renamed, spoof) {
+		t.Fatal("origin-spoof golden does not name its attack")
+	}
+	if !bytes.Equal(renamed, none) {
+		t.Error("origin-spoof golden differs from the no-attack golden beyond the attack name")
 	}
 }

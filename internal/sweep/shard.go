@@ -1,0 +1,308 @@
+package sweep
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/runner"
+)
+
+// DefaultShardSize is the cell count per shard when ShardOptions leaves
+// ShardSize zero: large enough that the per-shard bookkeeping (one
+// checkpoint record, one merge pass) is negligible next to the engine
+// runs, small enough that cancellation and progress remain responsive
+// on full |V|² enumerations.
+const DefaultShardSize = 4096
+
+// ShardOptions configures EvaluateSharded.
+type ShardOptions struct {
+	// ShardSize is the number of grid cells — (deployment, model,
+	// destination, attacker) quadruples — per shard; 0 means
+	// DefaultShardSize. The evaluated Result is byte-identical at every
+	// shard size.
+	ShardSize int
+
+	// Checkpoint, when non-empty, names a JSON-lines file that durably
+	// records every completed shard (one fsync'd record each). A fresh
+	// run truncates the file and writes a header binding it to this
+	// exact grid.
+	Checkpoint string
+
+	// Resume makes an existing Checkpoint file's completed shards count
+	// as done: they are merged from the file instead of re-evaluated,
+	// and only the remaining shards run. The file's header must match
+	// the grid (fingerprint, cell count, shard size) or EvaluateSharded
+	// fails rather than silently mixing incompatible partials. With no
+	// existing file, Resume behaves like a fresh run.
+	Resume bool
+
+	// Sink, when non-nil, observes every completed shard's partial
+	// aggregate: shards resumed from the checkpoint are replayed to it
+	// (in shard order) before evaluation starts, and each freshly
+	// evaluated shard is delivered as it finishes, after its checkpoint
+	// record (if any) is durable — so one call sees every shard of the
+	// grid exactly once. Called serially; a non-nil error aborts the
+	// evaluation. Fresh-shard delivery order is scheduling-dependent —
+	// only the merged Result is deterministic.
+	Sink func(*ShardPartial) error
+}
+
+// ShardPartial is one completed shard's exact partial aggregate: for
+// each task (a (deployment, model, destination) triple, indexed as in
+// the grid's task space) the shard touched, the integer happiness
+// bounds summed over the shard's attackers and the number of valid
+// (m ≠ d) pairs. Tasks with no valid pair in the shard are omitted.
+// Partials merge positionally by task index, so adding them in any
+// order reproduces the serial aggregate exactly.
+type ShardPartial struct {
+	Shard int   `json:"shard"`
+	Tasks []int `json:"tasks,omitempty"`
+	Lo    []int `json:"lo,omitempty"`
+	Hi    []int `json:"hi,omitempty"`
+	Pairs []int `json:"pairs,omitempty"`
+}
+
+// numShards returns the shard count for a cell space of the given size.
+func numShards(cells, shardSize int) int {
+	return (cells + shardSize - 1) / shardSize
+}
+
+// Fingerprint is a stable 64-bit digest of everything that shapes the
+// grid's cell space and per-cell outcomes: topology size, policy
+// variant, attack, and axes (including deployment memberships).
+// Checkpoint files embed it so a resume against a different grid fails
+// loudly instead of merging incompatible partials. Shard size is
+// deliberately excluded — it lives in the header, and resume adopts it
+// from there.
+func (gr *Grid) fingerprint(g *asgraph.Graph, ax *axes) string {
+	h := fnv.New64a()
+	wint := func(x int) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(x))
+		h.Write(b[:])
+	}
+	wstr := func(s string) {
+		wint(len(s))
+		h.Write([]byte(s))
+	}
+	wset := func(s *asgraph.Set) {
+		if s == nil {
+			wint(-1)
+			return
+		}
+		members := s.Members()
+		wint(len(members))
+		for _, v := range members {
+			wint(int(v))
+		}
+	}
+	wint(g.N())
+	wstr(gr.LP.String())
+	wstr(gr.attackName())
+	if gr.PerDest {
+		wint(1)
+	} else {
+		wint(0)
+	}
+	wint(len(ax.models))
+	for _, m := range ax.models {
+		wstr(m.String())
+	}
+	wint(len(ax.deps))
+	for _, dp := range ax.deps {
+		wstr(dp.Name)
+		if dp.Dep == nil {
+			wint(-1)
+			continue
+		}
+		wset(dp.Dep.Full)
+		wset(dp.Dep.Simplex)
+	}
+	wint(ax.na)
+	for _, m := range gr.Attackers {
+		wint(int(m))
+	}
+	wint(ax.nd)
+	for _, d := range gr.Destinations {
+		wint(int(d))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// evaluateShard computes the partial aggregate of cells [start, end).
+// It re-checks ctx between tasks and reports ok = false if cancelled,
+// in which case the (incomplete) partial must be discarded.
+func (gr *Grid) evaluateShard(ctx context.Context, g *asgraph.Graph, ws *workerState, ax *axes, shard, start, end int) (p *ShardPartial, ok bool) {
+	p = &ShardPartial{Shard: shard}
+	for cs := start; cs < end; {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		ti := cs / ax.na
+		aiStart := cs % ax.na
+		aiEnd := ax.na
+		if (ti+1)*ax.na > end {
+			aiEnd = end - ti*ax.na
+		}
+		di := ti % ax.nd
+		mi := (ti / ax.nd) % ax.nm
+		si := ti / (ax.nd * ax.nm)
+		e := ws.engine(g, ax.models[mi], gr.LP)
+		d := gr.Destinations[di]
+		dep := ax.deps[si].Dep
+		var a destAcc
+		for ai := aiStart; ai < aiEnd; ai++ {
+			m := gr.Attackers[ai]
+			if m == d {
+				continue
+			}
+			o := e.RunAttack(d, m, dep, gr.Attack)
+			lo, hi := o.HappyBounds()
+			a.lo += lo
+			a.hi += hi
+			a.pairs++
+		}
+		if a.pairs > 0 {
+			p.Tasks = append(p.Tasks, ti)
+			p.Lo = append(p.Lo, a.lo)
+			p.Hi = append(p.Hi, a.hi)
+			p.Pairs = append(p.Pairs, a.pairs)
+		}
+		cs = ti*ax.na + aiEnd
+	}
+	return p, true
+}
+
+// EvaluateSharded evaluates the grid like EvaluateContext, but
+// partitioned into fixed-size shards of the flattened (deployment ×
+// model × destination × attacker) cell space. Shards are dispatched to
+// the worker pool with per-worker engine reuse; each completed shard's
+// exact integer partial is streamed to the checkpoint file and sink,
+// and all partials are merged positionally, so the Result is
+// byte-identical to EvaluateContext at every worker count and shard
+// size.
+//
+// With a Checkpoint configured, every completed shard is durably
+// recorded (fsync per record). Cancelling ctx aborts promptly with
+// (nil, ctx.Err()) — the checkpoint keeps the shards that finished —
+// and a later call with Resume set skips exactly those shards and
+// reproduces the uninterrupted result.
+func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts ShardOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ax, err := gr.expand()
+	if err != nil {
+		return nil, err
+	}
+	size := opts.ShardSize
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	var cp *checkpointFile
+	if opts.Checkpoint != "" {
+		// A resumed checkpoint dictates the shard size (shard indices
+		// are meaningless under any other partition); an explicit
+		// conflicting ShardSize is rejected inside openCheckpoint.
+		cp, size, err = openCheckpoint(opts.Checkpoint, gr.fingerprint(g, ax),
+			ax.cells, ax.tasks, opts.ShardSize, opts.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer cp.close()
+	}
+	nshards := numShards(ax.cells, size)
+
+	partials := make([]*ShardPartial, nshards)
+	if cp != nil {
+		for _, p := range cp.resumed {
+			partials[p.Shard] = p
+		}
+		if opts.Sink != nil {
+			// Replay checkpointed shards in shard order so the sink
+			// observes the whole grid, not just the fresh remainder.
+			for _, p := range partials {
+				if p == nil {
+					continue
+				}
+				if err := opts.Sink(p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	pending := make([]int, 0, nshards)
+	for s := 0; s < nshards; s++ {
+		if partials[s] == nil {
+			pending = append(pending, s)
+		}
+	}
+
+	// abort lets a checkpoint or sink failure stop the remaining shards
+	// without waiting for the whole grid.
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
+	var mu sync.Mutex
+	var sinkErr error
+	err = runner.ForEach(ctx, len(pending), gr.Workers, func() *workerState {
+		return &workerState{}
+	}, func(ws *workerState, pi int) {
+		s := pending[pi]
+		start := s * size
+		end := start + size
+		if end > ax.cells {
+			end = ax.cells
+		}
+		p, ok := gr.evaluateShard(ctx, g, ws, ax, s, start, end)
+		if !ok {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if sinkErr != nil {
+			return
+		}
+		if cp != nil {
+			if err := cp.append(p); err != nil {
+				sinkErr = err
+				abort()
+				return
+			}
+		}
+		if opts.Sink != nil {
+			if err := opts.Sink(p); err != nil {
+				sinkErr = err
+				abort()
+				return
+			}
+		}
+		partials[s] = p
+	})
+	if sinkErr != nil {
+		return nil, sinkErr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Positional merge: integer addition per task index is associative
+	// and commutative, so any completion order — including partials
+	// resumed from a checkpoint — reproduces the serial accumulator.
+	acc := make([]destAcc, ax.tasks)
+	for s, p := range partials {
+		if p == nil {
+			return nil, fmt.Errorf("sweep: internal error: shard %d missing after evaluation", s)
+		}
+		for i, ti := range p.Tasks {
+			acc[ti].lo += p.Lo[i]
+			acc[ti].hi += p.Hi[i]
+			acc[ti].pairs += p.Pairs[i]
+		}
+	}
+	return gr.reduce(g, ax, acc), nil
+}

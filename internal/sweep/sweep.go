@@ -107,16 +107,24 @@ type destAcc struct {
 	lo, hi, pairs int
 }
 
-// Evaluate expands and evaluates the grid on g.
-func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
-	return gr.EvaluateContext(context.Background(), g)
+// axes is a grid's validated, defaulted expansion: the concrete model
+// and deployment lists plus the dimensions of the task and cell spaces.
+// Tasks are (deployment, model, destination) triples in declaration
+// order; cells append the attacker as the innermost axis, so cell
+// ci = task*na + attackerIndex. Both Evaluate and the sharded
+// evaluator index the same spaces, which is what makes their results
+// byte-identical.
+type axes struct {
+	models []policy.Model
+	deps   []Deployment
+	nm, nd int
+	na     int
+	tasks  int // len(deps) * nm * nd
+	cells  int // tasks * na
 }
 
-// EvaluateContext is Evaluate under a context. Cancelling ctx aborts
-// the grid promptly — in-flight cells finish their current engine run,
-// undispatched cells never start — and EvaluateContext returns
-// (nil, ctx.Err()); partial aggregates are discarded, never returned.
-func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result, error) {
+// expand validates the grid and materializes its axes.
+func (gr *Grid) expand() (*axes, error) {
 	models := gr.Models
 	if len(models) == 0 {
 		models = policy.Models[:]
@@ -146,34 +154,67 @@ func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result,
 		}
 		seenModel[m] = true
 	}
+	ax := &axes{
+		models: models, deps: deps,
+		nm: len(models), nd: len(gr.Destinations), na: len(gr.Attackers),
+	}
+	ax.tasks = len(deps) * ax.nm * ax.nd
+	ax.cells = ax.tasks * ax.na
+	return ax, nil
+}
+
+// attackName is the grid's threat-model name with the nil default
+// resolved.
+func (gr *Grid) attackName() string {
+	if gr.Attack == nil {
+		return core.DefaultAttack.Name()
+	}
+	return gr.Attack.Name()
+}
+
+// workerState is the per-worker scratch of grid evaluation: one lazily
+// built engine per security model. The engine's epoch reset makes
+// reuse across deployments and destinations cheap.
+type workerState struct {
+	engines [policy.NumModels]*core.Engine
+}
+
+func (ws *workerState) engine(g *asgraph.Graph, model policy.Model, lp policy.LocalPref) *core.Engine {
+	e := ws.engines[model]
+	if e == nil {
+		e = core.NewEngineLP(g, model, lp)
+		ws.engines[model] = e
+	}
+	return e
+}
+
+// Evaluate expands and evaluates the grid on g.
+func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
+	return gr.EvaluateContext(context.Background(), g)
+}
+
+// EvaluateContext is Evaluate under a context. Cancelling ctx aborts
+// the grid promptly — in-flight cells finish their current engine run,
+// undispatched cells never start — and EvaluateContext returns
+// (nil, ctx.Err()); partial aggregates are discarded, never returned.
+func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result, error) {
+	ax, err := gr.expand()
+	if err != nil {
+		return nil, err
+	}
 
 	// One task per (deployment, model, destination) triple: coarse
 	// enough to amortize dispatch, fine enough to balance load.
-	nd := len(gr.Destinations)
-	nm := len(models)
-	tasks := len(deps) * nm * nd
-	acc := make([]destAcc, tasks)
-
-	// Each worker lazily builds one engine per security model; the
-	// engine's epoch reset makes reuse across deployments and
-	// destinations cheap.
-	type workerState struct {
-		engines [policy.NumModels]*core.Engine
-	}
-	err := runner.ForEach(ctx, tasks, gr.Workers, func() *workerState {
+	acc := make([]destAcc, ax.tasks)
+	err = runner.ForEach(ctx, ax.tasks, gr.Workers, func() *workerState {
 		return &workerState{}
 	}, func(ws *workerState, ti int) {
-		di := ti % nd
-		mi := (ti / nd) % nm
-		si := ti / (nd * nm)
-		model := models[mi]
-		e := ws.engines[model]
-		if e == nil {
-			e = core.NewEngineLP(g, model, gr.LP)
-			ws.engines[model] = e
-		}
+		di := ti % ax.nd
+		mi := (ti / ax.nd) % ax.nm
+		si := ti / (ax.nd * ax.nm)
+		e := ws.engine(g, ax.models[mi], gr.LP)
 		d := gr.Destinations[di]
-		dep := deps[si].Dep
+		dep := ax.deps[si].Dep
 		var a destAcc
 		for _, m := range gr.Attackers {
 			if m == d {
@@ -190,33 +231,39 @@ func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result,
 	if err != nil {
 		return nil, err
 	}
+	return gr.reduce(g, ax, acc), nil
+}
 
-	// Reduce in declaration order.
+// reduce folds the exact per-task integer counts into a Result in axis
+// declaration order. Because the counts are integers and the fold order
+// is fixed, the result is independent of how the tasks were scheduled —
+// across worker counts, shard sizes, and checkpoint resumes alike.
+func (gr *Grid) reduce(g *asgraph.Graph, ax *axes, acc []destAcc) *Result {
 	res := &Result{
 		GraphN:       g.N(),
 		LP:           gr.LP.String(),
-		Attackers:    len(gr.Attackers),
-		Destinations: nd,
-		Cells:        make([]Cell, 0, len(deps)*nm),
+		Attackers:    ax.na,
+		Destinations: ax.nd,
+		Cells:        make([]Cell, 0, len(ax.deps)*ax.nm),
 	}
 	if gr.Attack != nil && gr.Attack.Name() != core.DefaultAttack.Name() {
 		res.Attack = gr.Attack.Name()
 	}
 	sources := float64(g.N() - 2)
-	for si, dp := range deps {
-		for mi, model := range models {
+	for si, dp := range ax.deps {
+		for mi, model := range ax.models {
 			cell := Cell{
 				Deployment: dp.Name,
 				Model:      model.String(),
 				SecureASes: dp.Dep.SecureCount(),
 			}
 			if gr.PerDest {
-				cell.PerDest = make([]runner.Metric, nd)
+				cell.PerDest = make([]runner.Metric, ax.nd)
 			}
 			var lo, hi float64
 			pairs := 0
-			for di := 0; di < nd; di++ {
-				a := acc[(si*nm+mi)*nd+di]
+			for di := 0; di < ax.nd; di++ {
+				a := acc[(si*ax.nm+mi)*ax.nd+di]
 				lo += float64(a.lo)
 				hi += float64(a.hi)
 				pairs += a.pairs
@@ -238,7 +285,7 @@ func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result,
 			res.Cells = append(res.Cells, cell)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // MustEvaluate is Evaluate for statically well-formed grids.

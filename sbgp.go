@@ -303,6 +303,32 @@ func EvaluateGrid(ctx context.Context, gr *Grid, g *Graph) (*Result, error) {
 	return gr.EvaluateContext(ctx, g)
 }
 
+// ShardOptions configures sharded grid evaluation: cells per shard, an
+// optional fsync'd JSON-lines checkpoint file, resume from it, and a
+// streaming sink for completed shards.
+type ShardOptions = sweep.ShardOptions
+
+// ShardPartial is one completed shard's exact partial aggregate, as
+// streamed to ShardOptions.Sink and recorded in checkpoint files.
+type ShardPartial = sweep.ShardPartial
+
+// DefaultShardSize is the cells-per-shard default when
+// ShardOptions.ShardSize is zero.
+const DefaultShardSize = sweep.DefaultShardSize
+
+// EvaluateGridSharded evaluates a grid through the sharded path:
+// fixed-size shards of the (deployment × model × destination ×
+// attacker) cell space, evaluated concurrently, optionally checkpointed
+// per shard and resumable after cancellation. The result is
+// byte-identical to EvaluateGrid at every worker count and shard size.
+func EvaluateGridSharded(ctx context.Context, gr *Grid, g *Graph, opts ShardOptions) (*Result, error) {
+	return gr.EvaluateSharded(ctx, g, opts)
+}
+
+// AllASes returns the full population 0..n-1, the destination set of a
+// full |V|² enumeration.
+func AllASes(n int) []AS { return runner.AllASes(n) }
+
 // ---- Experiments (internal/exp) ----
 
 // Workload bundles a generated topology with deterministic pair

@@ -33,6 +33,10 @@ type Scenario struct {
 	ctx     context.Context
 	resolve bool
 
+	shardSize  int
+	checkpoint string
+	resume     bool
+
 	errs []error
 }
 
@@ -178,6 +182,28 @@ func WithWorkers(n int) Option {
 	return func(sc *Scenario) { sc.workers = n }
 }
 
+// WithShardSize sets the default cells-per-shard of SweepSharded
+// (0 = DefaultShardSize). Results do not depend on it.
+func WithShardSize(n int) Option {
+	return func(sc *Scenario) { sc.shardSize = n }
+}
+
+// WithCheckpoint sets the default checkpoint file of SweepSharded:
+// every completed shard is durably recorded there, so a cancelled sweep
+// can be resumed. The file is truncated on each sweep unless resuming
+// (WithResume or ShardOptions.Resume).
+func WithCheckpoint(path string) Option {
+	return func(sc *Scenario) { sc.checkpoint = path }
+}
+
+// WithResume makes SweepSharded resume from the configured checkpoint
+// file when it exists and matches the sweep: completed shards are
+// merged from the file instead of re-evaluated, reproducing the
+// uninterrupted result exactly.
+func WithResume() Option {
+	return func(sc *Scenario) { sc.resume = true }
+}
+
 // WithContext attaches a context to everything the simulation runs:
 // cancelling it makes in-flight and future sweeps (and single runs)
 // abort promptly with ctx.Err().
@@ -250,7 +276,10 @@ func (sc *Scenario) Simulate() (*Simulation, error) {
 		g: g, meta: meta, tiers: tiers,
 		model: sc.model, models: sc.models, lp: sc.lp,
 		attack: sc.attack, workers: sc.workers, ctx: sc.ctx,
-		resolve: sc.resolve,
+		resolve:    sc.resolve,
+		shardSize:  sc.shardSize,
+		checkpoint: sc.checkpoint,
+		resume:     sc.resume,
 	}
 	seen := map[string]bool{"baseline": true}
 	for _, sd := range sc.deployments {

@@ -23,6 +23,10 @@ type Simulation struct {
 	ctx     context.Context
 	resolve bool
 
+	shardSize  int
+	checkpoint string
+	resume     bool
+
 	// deployments is the sweep axis (primary first); the implicit
 	// baseline is prepended at sweep time.
 	deployments []GridDeployment
@@ -139,7 +143,12 @@ func (s *Simulation) Partition(d, m AS) (*Partition, error) {
 // count; cancelling the scenario context aborts the sweep promptly
 // with ctx.Err().
 func (s *Simulation) Sweep(attackers, destinations []AS) (*Result, error) {
-	grid := &Grid{
+	return s.SweepGrid(s.grid(attackers, destinations))
+}
+
+// grid assembles the scenario's sweep grid over the given pair sets.
+func (s *Simulation) grid(attackers, destinations []AS) *Grid {
+	return &Grid{
 		Models:       s.models,
 		LP:           s.lp,
 		Deployments:  append([]GridDeployment{{Name: "baseline"}}, s.deployments...),
@@ -148,7 +157,24 @@ func (s *Simulation) Sweep(attackers, destinations []AS) (*Result, error) {
 		Attack:       s.attack,
 		Workers:      s.workers,
 	}
-	return s.SweepGrid(grid)
+}
+
+// SweepSharded is Sweep through the sharded evaluator: the same grid,
+// partitioned into fixed-size shards with per-shard durable checkpoint
+// records and resume. Zero-valued ShardOptions fields inherit the
+// scenario's WithShardSize / WithCheckpoint / WithResume settings. The
+// result is byte-identical to Sweep; a sweep cancelled via the scenario
+// context can be rerun with resume enabled to skip the shards already
+// checkpointed.
+func (s *Simulation) SweepSharded(attackers, destinations []AS, opts ShardOptions) (*Result, error) {
+	if opts.ShardSize == 0 {
+		opts.ShardSize = s.shardSize
+	}
+	if opts.Checkpoint == "" {
+		opts.Checkpoint = s.checkpoint
+	}
+	opts.Resume = opts.Resume || s.resume
+	return s.grid(attackers, destinations).EvaluateSharded(s.ctx, s.g, opts)
 }
 
 // SweepGrid evaluates a caller-assembled grid under the scenario
