@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke fmt-check vet staticcheck examples-smoke fuzz-smoke ci
+.PHONY: all build test race bench bench-smoke bench-compare fmt-check vet staticcheck examples-smoke fuzz-smoke ci
 
 all: build
 
@@ -55,6 +55,12 @@ bench:
 # captured as BENCH_<date>.{txt,json}.
 bench-smoke:
 	./scripts/bench.sh
+
+# bench-compare diffs the two newest committed BENCH_*.json baselines so
+# perf regressions (e.g. in the incremental delta path) are visible.
+# Non-zero exit = some benchmark slowed >25%; CI runs it non-blocking.
+bench-compare:
+	$(GO) run ./cmd/benchcompare
 
 # ci mirrors the blocking jobs of .github/workflows/ci.yml.
 ci: fmt-check vet staticcheck build test race examples-smoke fuzz-smoke

@@ -497,6 +497,49 @@ func BenchmarkSweepSharded(b *testing.B) {
 	})
 }
 
+// BenchmarkRolloutSeries is the incremental-evaluation headline: a
+// fine-grained nested rollout (one Tier 2 plus its stubs per step, 24
+// steps) at the paper's default 4000-AS scale, evaluated as one sweep
+// grid — from scratch versus with Incremental delta reuse. The two
+// produce byte-identical results; the ratio is the delta path's win on
+// rollout-shaped series.
+func BenchmarkRolloutSeries(b *testing.B) {
+	g, meta := topogen.MustGenerate(topogen.Params{N: 4000, Seed: 1})
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	deployments := []sweep.Deployment{{Name: "baseline"}}
+	for k := 1; k <= 24; k++ {
+		deployments = append(deployments, sweep.Deployment{
+			Name: fmt.Sprintf("t2x%d", k),
+			Dep:  deploy.Build(g, tiers, deploy.Spec{NumTier2: k, IncludeStubs: true}),
+		})
+	}
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 4, 4)
+	for _, mode := range []struct {
+		name        string
+		incremental bool
+	}{
+		{"from-scratch", false},
+		{"incremental", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			grid := &sweep.Grid{
+				Deployments:  deployments,
+				Attackers:    M,
+				Destinations: D,
+				Incremental:  mode.incremental,
+				Workers:      1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := grid.MustEvaluate(g)
+				if len(res.Cells) != len(deployments)*policy.NumModels {
+					b.Fatalf("grid has %d cells", len(res.Cells))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationParallelism compares the harness at 1 worker vs all
 // cores on the benchmark workload.
 func BenchmarkAblationParallelism(b *testing.B) {

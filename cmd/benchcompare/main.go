@@ -1,0 +1,147 @@
+// Command benchcompare diffs two BENCH_<label>.json baselines (as
+// emitted by scripts/bench.sh) benchmark by benchmark, so perf
+// regressions — e.g. in the engine's incremental delta path — are
+// visible from the committed perf trajectory instead of requiring a
+// local A/B run.
+//
+// Usage:
+//
+//	benchcompare [-dir .] [-threshold 25] [old.json new.json]
+//
+// With no positional arguments it picks the two newest *date-labeled*
+// baselines in -dir by filename (BENCH_YYYY-MM-DD sorts
+// chronologically; ad-hoc labels are ignored). To compare ad-hoc
+// labels, pass the two paths explicitly, as the CI job does.
+// Benchmarks present in only one baseline are listed but not compared.
+// The exit status is 1 when any benchmark slowed by more than
+// -threshold percent — CI runs the comparison as a non-blocking step,
+// so a red diff is a signal, not a gate (single-shot bench-smoke
+// numbers are noisy by nature).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// baseline mirrors the JSON scripts/bench.sh emits.
+type baseline struct {
+	Date       string      `json:"date"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json baselines")
+	threshold := flag.Float64("threshold", 25,
+		"percent slowdown above which the comparison exits non-zero")
+	flag.Parse()
+
+	code, err := run(os.Stdout, *dir, *threshold, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the comparison and returns the intended exit code.
+func run(w io.Writer, dir string, threshold float64, args []string) (int, error) {
+	var oldPath, newPath string
+	switch len(args) {
+	case 0:
+		// Only date-labeled baselines qualify for auto-discovery: the
+		// digit prefix keeps ad-hoc labels (e.g. CI's bench-smoke run,
+		// which would sort *after* every date) out of the comparison.
+		paths, err := filepath.Glob(filepath.Join(dir, "BENCH_[0-9]*.json"))
+		if err != nil {
+			return 0, err
+		}
+		sort.Strings(paths)
+		if len(paths) < 2 {
+			return 0, fmt.Errorf("found %d baseline(s) in %s, need 2 (run scripts/bench.sh)", len(paths), dir)
+		}
+		oldPath, newPath = paths[len(paths)-2], paths[len(paths)-1]
+	case 2:
+		oldPath, newPath = args[0], args[1]
+	default:
+		return 0, fmt.Errorf("want 0 or 2 positional arguments, got %d", len(args))
+	}
+
+	oldB, err := read(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newB, err := read(newPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "comparing %s (%s) → %s (%s)\n\n", filepath.Base(oldPath), oldB.Date, filepath.Base(newPath), newB.Date)
+
+	oldBy := make(map[string]benchmark, len(oldB.Benchmarks))
+	for _, b := range oldB.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	regressions := 0
+	var onlyNew []string
+	seen := make(map[string]bool)
+	for _, nb := range newB.Benchmarks {
+		seen[nb.Name] = true
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			onlyNew = append(onlyNew, nb.Name)
+			continue
+		}
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		pct := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		marker := ""
+		if pct > threshold {
+			marker = "  <-- regression"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %14.0f → %14.0f ns/op  %+7.1f%%%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, pct, marker)
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "%-60s (new benchmark)\n", name)
+	}
+	for _, ob := range oldB.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-60s (removed benchmark)\n", ob.Name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) slowed by more than %.0f%%\n", regressions, threshold)
+		return 1, nil
+	}
+	fmt.Fprintf(w, "\nno regression beyond %.0f%%\n", threshold)
+	return 0, nil
+}
+
+func read(path string) (*baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &b, nil
+}

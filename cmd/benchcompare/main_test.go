@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunComparesNewestTwo(t *testing.T) {
+	dir := t.TempDir()
+	// An ad-hoc label must not participate in auto-discovery even
+	// though it sorts lexically after every date.
+	writeBaseline(t, dir, "BENCH_bench-smoke.json",
+		`{"date":"x","benchmarks":[{"name":"BenchmarkA","iterations":1,"ns_per_op":1}]}`)
+	writeBaseline(t, dir, "BENCH_2026-01-01.json",
+		`{"date":"2026-01-01T00:00:00Z","benchmarks":[
+			{"name":"BenchmarkA","iterations":1,"ns_per_op":100},
+			{"name":"BenchmarkGone","iterations":1,"ns_per_op":5}]}`)
+	writeBaseline(t, dir, "BENCH_2026-01-02.json",
+		`{"date":"2026-01-02T00:00:00Z","benchmarks":[
+			{"name":"BenchmarkA","iterations":1,"ns_per_op":110},
+			{"name":"BenchmarkNew","iterations":1,"ns_per_op":7}]}`)
+
+	var out bytes.Buffer
+	code, err := run(&out, dir, 25, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("10%% slowdown under a 25%% threshold exited %d, want 0", code)
+	}
+	for _, want := range []string{"BenchmarkA", "+10.0%", "BenchmarkNew", "(new benchmark)", "BenchmarkGone", "(removed benchmark)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunFlagsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "BENCH_a.json",
+		`{"date":"a","benchmarks":[{"name":"BenchmarkA","iterations":1,"ns_per_op":100}]}`)
+	newer := writeBaseline(t, dir, "BENCH_b.json",
+		`{"date":"b","benchmarks":[{"name":"BenchmarkA","iterations":1,"ns_per_op":200}]}`)
+
+	var out bytes.Buffer
+	code, err := run(&out, dir, 25, []string{old, newer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("2× slowdown exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "<-- regression") {
+		t.Errorf("regression not flagged:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := run(&bytes.Buffer{}, dir, 25, nil); err == nil {
+		t.Error("no baselines: want an error")
+	}
+	writeBaseline(t, dir, "BENCH_1.json", `{"benchmarks":[]}`)
+	writeBaseline(t, dir, "BENCH_2.json", `{"benchmarks":[]}`)
+	if _, err := run(&bytes.Buffer{}, dir, 25, nil); err == nil {
+		t.Error("empty baselines: want an error")
+	}
+	if _, err := run(&bytes.Buffer{}, dir, 25, []string{"one"}); err == nil {
+		t.Error("one positional arg: want an error")
+	}
+}

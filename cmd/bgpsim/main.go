@@ -63,6 +63,8 @@ func main() {
 		"with -sweep: JSON-lines checkpoint file (one fsync'd record per completed shard)")
 	resume := flag.Bool("resume", false,
 		"with -sweep: skip shards already recorded in -checkpoint")
+	incremental := flag.Bool("incremental", false,
+		"with -sweep: reuse fixed points across nested deployments (delta evaluation; identical results)")
 	flag.Parse()
 
 	var model sbgp.Model
@@ -87,6 +89,7 @@ func main() {
 		sbgp.WithNamedDeployment(*deployFlag),
 		sbgp.WithAttack(attack),
 		sbgp.WithWorkers(*workers),
+		sbgp.WithIncremental(*incremental),
 	}
 	if *graphPath != "" {
 		opts = append(opts, sbgp.WithGraphFile(*graphPath))

@@ -8,7 +8,7 @@
 //	experiments [-n 4000] [-seed 1] [-maxm 24] [-maxd 32] [-perdest 200]
 //	            [-workers 0] [-quick] [-skip-ixp] [-json grid.json]
 //	            [-attack one-hop] [-full] [-shards N]
-//	            [-checkpoint sweep.ckpt] [-resume]
+//	            [-checkpoint sweep.ckpt] [-resume] [-incremental]
 //
 // -quick shrinks everything for a fast smoke run. -json additionally
 // writes the headline (model × deployment) sweep grid as a JSON
@@ -24,6 +24,12 @@
 // fsync'd checkpoint record per completed shard — so a full enumeration
 // survives interruption: rerun with -resume and the completed shards
 // are skipped, with byte-identical output.
+//
+// -incremental turns on delta evaluation for the metric grids: nested
+// deployments (the rollout sequences) reuse the previous step's fixed
+// point via Engine.RunDelta instead of recomputing every destination
+// from scratch. Output is byte-identical; rollout-shaped experiments
+// run severalfold faster.
 package main
 
 import (
@@ -56,6 +62,8 @@ func main() {
 		"JSON-lines checkpoint file for the -json grid (one fsync'd record per shard)")
 	resume := flag.Bool("resume", false,
 		"skip shards already recorded in -checkpoint")
+	incremental := flag.Bool("incremental", false,
+		"reuse each deployment's fixed point across nested deployments (delta evaluation; identical results)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -75,13 +83,13 @@ func main() {
 	}
 
 	cfg := sbgp.ExperimentConfig{
-		N: *n, Seed: *seed, MaxM: *maxM, MaxD: *maxD, MaxPerDest: *perDest,
-		Attack: attack, Workers: *workers, FullEnumeration: *full,
+		N: *n, Seed: *seed, SeedSet: true, MaxM: *maxM, MaxD: *maxD, MaxPerDest: *perDest,
+		Attack: attack, Incremental: *incremental, Workers: *workers, FullEnumeration: *full,
 	}
 	if *quick {
 		cfg = sbgp.ExperimentConfig{
-			N: 800, Seed: *seed, MaxM: 10, MaxD: 12, MaxPerDest: 40,
-			Attack: attack, Workers: *workers, FullEnumeration: *full,
+			N: 800, Seed: *seed, SeedSet: true, MaxM: 10, MaxD: 12, MaxPerDest: 40,
+			Attack: attack, Incremental: *incremental, Workers: *workers, FullEnumeration: *full,
 		}
 	}
 

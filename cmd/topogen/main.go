@@ -47,7 +47,7 @@ func main() {
 	log.SetPrefix("topogen: ")
 	opts := options{}
 	flag.IntVar(&opts.N, "n", 4000, "number of ASes")
-	flag.Int64Var(&opts.Seed, "seed", 1, "random seed")
+	flag.Int64Var(&opts.Seed, "seed", 1, "random seed (0 is a real stream, distinct from 1)")
 	flag.BoolVar(&opts.IXP, "ixp", false, "emit the IXP-augmented graph")
 	flag.StringVar(&opts.Out, "o", "-", "output file (- for stdout)")
 	flag.BoolVar(&opts.Stats, "stats", false, "print a tier census to stderr")
@@ -63,7 +63,9 @@ func main() {
 // opts.Out) and the requested census to statsW. The named result lets
 // the deferred file close surface its error.
 func run(opts options, graphW, statsW io.Writer) (err error) {
-	g, meta, err := topogen.Generate(topogen.Params{N: opts.N, Seed: opts.Seed})
+	// SeedSet: the seed always comes from the flag (or its default), so
+	// -seed 0 selects the genuine zero stream instead of aliasing 1.
+	g, meta, err := topogen.Generate(topogen.Params{N: opts.N, Seed: opts.Seed, SeedSet: true})
 	if err != nil {
 		return err
 	}

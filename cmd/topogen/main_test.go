@@ -28,6 +28,26 @@ func TestRunWritesParsableGraph(t *testing.T) {
 	}
 }
 
+// TestRunSeedZeroDistinct: -seed 0 emits a graph of its own — the CLI
+// marks the seed explicit, so 0 is no longer a silent alias of 1 — and
+// both streams stay deterministic.
+func TestRunSeedZeroDistinct(t *testing.T) {
+	emit := func(seed int64) string {
+		var graph, stats bytes.Buffer
+		if err := run(options{N: 200, Seed: seed, Out: "-"}, &graph, &stats); err != nil {
+			t.Fatal(err)
+		}
+		return graph.String()
+	}
+	zero, one := emit(0), emit(1)
+	if zero == one {
+		t.Error("-seed 0 emitted the same graph as -seed 1")
+	}
+	if zero != emit(0) {
+		t.Error("-seed 0 is not deterministic")
+	}
+}
+
 // TestRunJSONStats checks the -json census: valid JSON with the
 // documented fields, consistent with the emitted graph.
 func TestRunJSONStats(t *testing.T) {

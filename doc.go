@@ -37,6 +37,14 @@
 // (scenario defaults: WithShardSize, WithCheckpoint, WithResume; the
 // CLIs expose the same via -full/-shards/-checkpoint/-resume.)
 //
+// Rollout-shaped work — nested deployments S₁ ⊂ S₂ ⊂ … — evaluates
+// incrementally: WithIncremental(true) makes sweeps walk nested
+// deployment chains with Engine.RunDelta reusing each step's fixed
+// point (byte-identical results, severalfold faster), and
+// Simulation.RunDeltaSeries runs one (destination, attacker) pair down
+// an explicit deployment series the same way. The CLIs expose this as
+// -incremental.
+//
 // Every capability is reachable from this package: raw topology
 // construction (NewBuilder, NewSet, SetOf, ClassifyTiers), engines
 // (NewEngine/Engine), partitions (Partitioner), deployment builders
@@ -93,8 +101,9 @@
 //	                   context-aware)
 //	internal/sweep     declarative (model × deployment × attacker ×
 //	                   destination) grid evaluation with deterministic
-//	                   aggregation, sharded full enumeration with
-//	                   checkpoint/resume, and JSON output
+//	                   aggregation, incremental nested-chain scheduling,
+//	                   sharded full enumeration with checkpoint/resume,
+//	                   and JSON output
 //	internal/exp       one experiment per paper table/figure
 //
 // The benchmarks in this directory regenerate every evaluation artifact;

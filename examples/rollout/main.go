@@ -4,6 +4,10 @@
 // over origin authentication alone — the "juice" each extra slice of
 // S*BGP deployment buys. Everything runs through the public sbgp facade.
 //
+// The rollout is evaluated incrementally: consecutive deployments are
+// nested (S₁ ⊂ S₂ ⊂ …), so each step reuses the previous fixed point
+// via the engine's delta path — identical numbers, computed faster.
+//
 //	go run ./examples/rollout [-n 1500]
 package main
 
@@ -18,7 +22,7 @@ func main() {
 	n := flag.Int("n", 1500, "topology size")
 	flag.Parse()
 
-	w := sbgp.NewWorkload(sbgp.ExperimentConfig{N: *n, Seed: 7, MaxM: 12, MaxD: 16})
+	w := sbgp.NewWorkload(sbgp.ExperimentConfig{N: *n, Seed: 7, MaxM: 12, MaxD: 16, Incremental: true})
 	fmt.Printf("synthetic Internet: %d ASes; attackers: %d non-stubs; destinations: %d sampled\n\n",
 		w.G.N(), len(w.M), len(w.D))
 

@@ -152,6 +152,118 @@ func TestScenarioCancellation(t *testing.T) {
 	}
 }
 
+// TestIncrementalFacade drives the incremental surface end to end:
+// WithIncremental sweeps match the default byte for byte,
+// RunDeltaSeries equals per-step from-scratch runs (falling back
+// cleanly on non-nested steps), and a series interrupted by context
+// cancellation leaves the simulation's engine clean for the next call.
+func TestIncrementalFacade(t *testing.T) {
+	newSim := func(opts ...sbgp.Option) *sbgp.Simulation {
+		sim, err := sbgp.NewScenario(append([]sbgp.Option{
+			sbgp.WithGeneratedTopology(400, 3),
+			sbgp.WithNamedDeployment("t2"),
+			sbgp.WithNamedDeployment("t1t2"),
+			sbgp.WithNamedDeployment("nonstubs"),
+		}, opts...)...).Simulate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	plain := newSim()
+	inc := newSim(sbgp.WithIncremental(true))
+	M, D := sbgp.SamplePairs(sbgp.NonStubs(plain.Graph()), sbgp.AllASes(plain.Graph().N()), 6, 8)
+
+	want, err := plain.Sweep(M, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := inc.Sweep(M, D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wb, gb bytes.Buffer
+	if err := want.WriteJSON(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteJSON(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+		t.Error("WithIncremental sweep diverges from the default evaluation")
+	}
+
+	// RunDeltaSeries over a nested series (with one deliberate
+	// non-nested step: the t2 deployment after nonstubs shrinks the
+	// set, forcing the documented from-scratch fallback mid-series).
+	tiers := inc.Tiers()
+	g := inc.Graph()
+	series := []*sbgp.Deployment{
+		nil,
+		sbgp.BuildDeployment(g, tiers, sbgp.DeploymentSpec{NumTier2: 13, IncludeStubs: true}),
+		sbgp.BuildDeployment(g, tiers, sbgp.DeploymentSpec{NumTier2: 50, IncludeStubs: true}),
+		sbgp.BuildDeployment(g, tiers, sbgp.DeploymentSpec{AllNonStubs: true}),
+		sbgp.BuildDeployment(g, tiers, sbgp.DeploymentSpec{NumTier2: 26, IncludeStubs: true}),
+	}
+	d, m := D[0], M[0]
+	if d == m {
+		d = D[1]
+	}
+	outs, err := inc.RunDeltaSeries(d, m, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(series) {
+		t.Fatalf("RunDeltaSeries returned %d outcomes, want %d", len(outs), len(series))
+	}
+	for i, dep := range series {
+		ref, err := plain.RunWith(plain.Model(), d, m, dep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range ref.Class {
+			if outs[i].Class[v] != ref.Class[v] || outs[i].Len[v] != ref.Len[v] ||
+				outs[i].Secure[v] != ref.Secure[v] || outs[i].Label[v] != ref.Label[v] ||
+				outs[i].Next[v] != ref.Next[v] {
+				t.Fatalf("series step %d diverges from a from-scratch run at AS%d", i, v)
+			}
+		}
+	}
+
+	// An already-cancelled context aborts the series before any engine
+	// work (a cancelled Simulation is permanently unusable, so there is
+	// no same-simulation "after cancel" to test here).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelable := newSim(sbgp.WithIncremental(true), sbgp.WithContext(ctx))
+	cancel()
+	if _, err := cancelable.RunDeltaSeries(d, m, series); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunDeltaSeries returned %v, want context.Canceled", err)
+	}
+	// Interruption cleanliness on a live simulation: a series cut short
+	// at step k leaves the cached engine in exactly the state a
+	// mid-series cancellation would (k chained delta runs, mid-chain
+	// outcome retained), so running a truncated series and then a
+	// different full one on the same simulation pins that no state
+	// leaks across series.
+	if _, err := inc.RunDeltaSeries(d, m, series[:2]); err != nil {
+		t.Fatal(err)
+	}
+	outs2, err := inc.RunDeltaSeries(d, m, series[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := plain.RunWith(plain.Model(), d, m, series[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := outs2[2]
+	for v := range ref.Class {
+		if last.Label[v] != ref.Label[v] || last.Len[v] != ref.Len[v] {
+			t.Fatalf("post-interruption series diverges at AS%d", v)
+		}
+	}
+}
+
 // TestSweepShardedFacade drives the sharded sweep through the scenario
 // surface: WithCheckpoint/WithShardSize configure the defaults,
 // SweepSharded matches Sweep byte for byte, and a second simulation

@@ -102,6 +102,26 @@ func (s *Set) Members() []AS {
 	return out
 }
 
+// MembersNotIn returns the members of s that are not in t, in
+// increasing order. Either set may be nil.
+func (s *Set) MembersNotIn(t *Set) []AS {
+	if s == nil {
+		return nil
+	}
+	var out []AS
+	for wi, w := range s.words {
+		if t != nil && wi < len(t.words) {
+			w &^= t.words[wi]
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, AS(wi*64+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
 // ContainsAll reports whether every member of t is also in s.
 func (s *Set) ContainsAll(t *Set) bool {
 	if t == nil {

@@ -33,6 +33,11 @@ type Attack interface {
 type Seeder struct {
 	e *Engine
 
+	// capture, when non-nil, collects originations instead of fixing
+	// them: RunDelta records what the attack would plant under a new
+	// deployment without touching the engine (see delta.go).
+	capture *[]seedRec
+
 	// Dst and Attacker are the run's destination d and attacker m
 	// (Attacker is asgraph.None under normal conditions).
 	Dst, Attacker asgraph.AS
@@ -63,6 +68,22 @@ func clampHops(hops int) int {
 	return hops
 }
 
+// clampLen normalizes an origination length into [0, MaxPadHops]. The
+// clamp lives here, in core, so every seeding path — the built-in
+// strategies, ParseAttack, the facade, and custom Attacks calling
+// Originate directly — shares one bound and the engine's int32 length
+// arithmetic (origination length plus at most one hop per AS) can never
+// overflow.
+func clampLen(length int32) int32 {
+	if length < 0 {
+		return 0
+	}
+	if length > MaxPadHops {
+		return MaxPadHops
+	}
+	return length
+}
+
 // AnnounceBogus plants the attacker's bogus announcement: m claims a
 // (nonexistent) path of `hops` hops to the destination, so neighbors
 // perceive a route of length hops+1 via m. hops = 1 is the paper's
@@ -78,9 +99,20 @@ func (s *Seeder) AnnounceBogus(hops int) {
 
 // Originate is the general labeling hook: it fixes v as a route origin
 // with the given perceived length, security, and happiness label.
-// Fixing the same AS twice in one run panics — an origin's route is
-// final by definition.
+// Lengths are clamped into [0, MaxPadHops] so no origination can
+// overflow the engine's int32 length arithmetic. Fixing the same AS
+// twice in one run panics — an origin's route is final by definition.
 func (s *Seeder) Originate(v asgraph.AS, length int32, secure bool, label Label) {
+	length = clampLen(length)
+	if s.capture != nil {
+		for _, r := range *s.capture {
+			if r.v == v {
+				panic(fmt.Sprintf("core: attack seeds AS%d twice", v))
+			}
+		}
+		*s.capture = append(*s.capture, seedRec{v: v, len: length, secure: secure, label: label})
+		return
+	}
 	if s.e.fixed(v) {
 		panic(fmt.Sprintf("core: attack seeds AS%d twice", v))
 	}

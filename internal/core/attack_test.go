@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -242,6 +243,48 @@ func TestParseAttack(t *testing.T) {
 		back, err := ParseAttack(atk.Name())
 		if err != nil || back.Name() != atk.Name() {
 			t.Errorf("attack %q does not round-trip: %v", atk.Name(), err)
+		}
+	}
+}
+
+// TestOriginateOverflowClamp is the overflow regression: the pad-K
+// clamp lives in core and covers every seeding path, so neither an
+// oversized PathPadding nor a custom Attack originating near-MaxInt32
+// lengths can overflow the engine's int32 length arithmetic.
+func TestOriginateOverflowClamp(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 27})
+	for _, model := range policy.Models {
+		e := NewEngine(g, model)
+		ref := NewEngine(g, model)
+		// Padding beyond the bound behaves exactly like MaxPadHops.
+		got := e.RunAttack(3, 9, nil, PathPadding{Hops: math.MaxInt})
+		want := ref.RunAttack(3, 9, nil, PathPadding{Hops: MaxPadHops})
+		if !outcomesEqual(got, want) {
+			t.Fatalf("%v: PathPadding{MaxInt} diverges from PathPadding{MaxPadHops}", model)
+		}
+		// A custom strategy passing a raw near-overflow length through
+		// Originate is clamped at the root, so no AS anywhere in the
+		// graph ever computes a negative (wrapped) route length.
+		huge := e.RunAttack(3, 9, nil, attackFunc(func(s *Seeder) {
+			s.OriginateDest()
+			s.Originate(9, math.MaxInt32, false, LabelAttacker)
+		}))
+		if huge.Len[9] != MaxPadHops {
+			t.Fatalf("%v: raw MaxInt32 origination fixed at length %d, want the %d clamp", model, huge.Len[9], MaxPadHops)
+		}
+		for v := range huge.Len {
+			if huge.Len[v] < 0 {
+				t.Fatalf("%v: AS%d ended with negative route length %d (int32 overflow)", model, v, huge.Len[v])
+			}
+		}
+		// Negative lengths clamp to zero rather than corrupting the
+		// bucket queue.
+		neg := e.RunAttack(3, 9, nil, attackFunc(func(s *Seeder) {
+			s.OriginateDest()
+			s.Originate(9, -5, false, LabelAttacker)
+		}))
+		if neg.Len[9] != 0 {
+			t.Fatalf("%v: negative origination fixed at length %d, want 0", model, neg.Len[9])
 		}
 	}
 }

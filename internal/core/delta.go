@@ -1,0 +1,319 @@
+package core
+
+import (
+	"sbgp/internal/asgraph"
+	"sbgp/internal/policy"
+)
+
+// This file implements the incremental evaluation path: RunDelta
+// recomputes a routing outcome after a deployment grows by a few ASes,
+// reusing the previous deployment's fixed point instead of re-running
+// every stage over the whole graph.
+//
+// The correctness argument rests on a locality property of the staged
+// Fix-Routes algorithms: an AS's final outcome (class, length, security,
+// label, next hop) is a deterministic function of its own deployment
+// flags and its neighbors' final outcomes. Offers flow along single
+// edges, a candidate's admissibility in a stage depends only on the
+// offering neighbor's final class/length/security, and within a stage
+// the bucket queue orders work by route length, never by discovery
+// time. So if every neighbor of v is unchanged between two deployments
+// and v's own flags are unchanged, v's outcome is unchanged.
+//
+// RunDelta exploits the contrapositive: it maintains a dirty set — an
+// overapproximation of the ASes whose outcome may differ from prev —
+// pre-fixes everything outside it with the previous outcome, re-runs
+// the stage schedule over the dirty region only, and then verifies the
+// overapproximation: any dirty AS whose outcome actually changed must
+// have all its neighbors dirty too. If not, the set grows and the pass
+// repeats; at the fixpoint the result equals a from-scratch run
+// exactly. A from-scratch run is itself the degenerate fixpoint, so the
+// path can fall back to it whenever the dirty region grows past an
+// adaptive threshold.
+
+// seedRec is one captured root origination: the outcome entry an Attack
+// plants before the stage schedule runs.
+type seedRec struct {
+	v      asgraph.AS
+	len    int32
+	secure bool
+	label  Label
+}
+
+// DeploymentDelta returns the ASes gained from prev to next — Full and
+// Simplex members together — and whether next actually is a superset of
+// prev on both sets, the precondition of RunDelta and of the sweep
+// layer's nested-deployment chains. A nil deployment is the empty
+// S = ∅ baseline.
+func DeploymentDelta(prev, next *Deployment) (added []asgraph.AS, nested bool) {
+	var pf, ps, nf, ns *asgraph.Set
+	if prev != nil {
+		pf, ps = prev.Full, prev.Simplex
+	}
+	if next != nil {
+		nf, ns = next.Full, next.Simplex
+	}
+	if !nf.ContainsAll(pf) || !ns.ContainsAll(ps) {
+		return nil, false
+	}
+	added = nf.MembersNotIn(pf)
+	added = append(added, ns.MembersNotIn(ps)...)
+	return added, true
+}
+
+// RunDelta computes the stable routing outcome for the same scenario as
+// prev — destination, attacker, and attack strategy unchanged, on this
+// engine's graph, model, and local-preference variant — under the
+// enlarged deployment dep, which must equal prev's deployment plus the
+// ASes in added (S*BGP is only switched on along a rollout, never off;
+// both Full and Simplex additions belong in added). prev may be the
+// engine's own outcome from the immediately preceding run — the common
+// case in rollout chains, and the fastest one.
+//
+// The result is exactly the outcome RunAttack(prev.Dst, prev.Attacker,
+// dep, atk) would compute. The stage work is proportional to the dirty
+// region rather than the whole graph (a small O(n) bookkeeping floor
+// remains: the fixedList rebuild and the vanished-root scan are single
+// passes over one byte array each, and an external — non-chained —
+// prev costs one array copy to install); when the dirty region exceeds
+// an adaptive threshold (a quarter of the graph, mirroring the
+// rollback-vs-full-clear adaptivity of the epoch reset), RunDelta falls
+// back to the from-scratch run. Like Run, the returned Outcome is owned
+// by the engine and valid until the next run.
+func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, atk Attack) *Outcome {
+	n := e.g.N()
+	if len(prev.Class) != n {
+		panic("core: RunDelta outcome belongs to a different graph")
+	}
+	if atk == nil {
+		atk = DefaultAttack
+	}
+	d, m := prev.Dst, prev.Attacker
+
+	// Capture the run's root originations under the new deployment
+	// without touching engine state: roots are compared against prev to
+	// seed the dirty set and re-planted verbatim on every pass.
+	e.deltaSeeds = e.deltaSeeds[:0]
+	atk.Seed(&Seeder{capture: &e.deltaSeeds, Dst: d, Attacker: m, Dep: dep})
+	seededDst := false
+	for _, r := range e.deltaSeeds {
+		if r.v == d {
+			seededDst = true
+		}
+	}
+	if !seededDst {
+		panic("core: attack did not seed the destination")
+	}
+
+	// Initial dirty set: the newly secure ASes and their adjacencies
+	// (their FullSecure flag feeds every offer they receive), plus any
+	// root whose origination changed (e.g. the destination turning
+	// origin-secure) and its adjacencies. markDirty snapshots prev's
+	// entry for each AS as it is marked, so prev must be installed as
+	// the comparison source first.
+	e.resetDirty()
+	e.deltaPrev = prev
+	defer func() { e.deltaPrev = nil }()
+	for _, a := range added {
+		e.markDirty(a)
+		e.markNeighborsDirty(a)
+	}
+	for _, r := range e.deltaSeeds {
+		if prev.Class[r.v] != policy.ClassOrigin || prev.Len[r.v] != r.len ||
+			prev.Secure[r.v] != r.secure || prev.Label[r.v] != r.label ||
+			prev.Next[r.v] != asgraph.None {
+			e.markDirty(r.v)
+			e.markNeighborsDirty(r.v)
+		}
+	}
+	// The mirror case: a root that existed in prev but is no longer
+	// seeded (a deployment-dependent custom Attack may plant origins
+	// conditionally). It must be recomputed as an ordinary AS, and its
+	// disappearance can influence its neighbors.
+	//
+	// (ASes *unrouted* in prev need no seeding here: they hold no
+	// pre-fixed value, and if a pass revives one — a neighbor's
+	// route-class flip re-enabling an export that never reached it —
+	// the fix sites mark it dirty just before the first write, so the
+	// fixpoint check sees the revival and propagates it.)
+	for v := range prev.Class {
+		if prev.Class[v] != policy.ClassOrigin {
+			continue
+		}
+		seeded := false
+		for _, r := range e.deltaSeeds {
+			if r.v == asgraph.AS(v) {
+				seeded = true
+				break
+			}
+		}
+		if !seeded {
+			e.markDirty(asgraph.AS(v))
+			e.markNeighborsDirty(asgraph.AS(v))
+		}
+	}
+
+	installed := prev == &e.out
+	for {
+		// Adaptive fallback. Checked before any engine state is touched
+		// on the first pass, so an oversized delta costs nothing extra;
+		// after a pass, installDelta has left fixedList consistent with
+		// the outcome, so RunAttack's reset remains sound.
+		if 4*len(e.dirtyList) >= n {
+			e.deltaFallbacks++
+			return e.RunAttack(d, m, dep, atk)
+		}
+		if !installed {
+			e.installPrev(prev)
+			installed = true
+		}
+		e.out.Dst, e.out.Attacker = d, m
+		e.installDelta()
+		e.deltaDirty = e.dirtyList
+		for _, st := range e.plan.Stages {
+			switch st.Class {
+			case policy.ClassCustomer:
+				e.runTreeStage(st, dep, true)
+			case policy.ClassProvider:
+				e.runTreeStage(st, dep, false)
+			case policy.ClassPeer:
+				e.runPeerStage(st, dep)
+			}
+		}
+		e.deltaDirty = nil
+		// Fixpoint check: every AS whose outcome changed must have all
+		// of its neighbors dirty, or the change could have influenced a
+		// pre-fixed AS. Grow and re-run until nothing new is marked.
+		grown := false
+		limit := len(e.dirtyList)
+		for i := 0; i < limit; i++ {
+			v := e.dirtyList[i]
+			if e.changedFromPrev(v) && e.markNeighborsDirty(v) {
+				grown = true
+			}
+		}
+		if !grown {
+			return &e.out
+		}
+	}
+}
+
+// resetDirty clears the dirty-set scratch from any previous RunDelta —
+// including one abandoned mid-closure by a fallback or a cancelled
+// sweep — so every call starts clean.
+func (e *Engine) resetDirty() {
+	if e.inDirty == nil {
+		n := e.g.N()
+		e.inDirty = make([]bool, n)
+		e.prevOut = Outcome{
+			Class:  make([]policy.Class, n),
+			Len:    make([]int32, n),
+			Secure: make([]bool, n),
+			Label:  make([]Label, n),
+			Next:   make([]asgraph.AS, n),
+		}
+	}
+	for _, v := range e.dirtyList {
+		e.inDirty[v] = false
+	}
+	e.dirtyList = e.dirtyList[:0]
+}
+
+// markDirty adds v to the dirty set, reporting whether it was new. It
+// snapshots prev's entry for v at marking time — the only moment it is
+// guaranteed intact even when prev aliases the engine's own outcome:
+// stages only ever write unfixed entries, and an unfixed entry is
+// either already dirty or gets marked (through this function) by the
+// fix sites immediately before its first write, so a newly marked AS
+// still holds its previous value. Keeping the snapshot per dirty AS
+// instead of copying all five n-length arrays is what keeps RunDelta's
+// bookkeeping proportional to the dirty region.
+func (e *Engine) markDirty(v asgraph.AS) bool {
+	if e.inDirty[v] {
+		return false
+	}
+	e.inDirty[v] = true
+	e.dirtyList = append(e.dirtyList, v)
+	p, po := e.deltaPrev, &e.prevOut
+	po.Class[v] = p.Class[v]
+	po.Len[v] = p.Len[v]
+	po.Secure[v] = p.Secure[v]
+	po.Label[v] = p.Label[v]
+	po.Next[v] = p.Next[v]
+	return true
+}
+
+// markNeighborsDirty marks every AS adjacent to v — across all three
+// edge kinds, since offers flow along each of them in some stage —
+// reporting whether any was newly marked.
+func (e *Engine) markNeighborsDirty(v asgraph.AS) bool {
+	grown := false
+	for _, u := range e.g.Providers(v) {
+		if e.markDirty(u) {
+			grown = true
+		}
+	}
+	for _, u := range e.g.Customers(v) {
+		if e.markDirty(u) {
+			grown = true
+		}
+	}
+	for _, u := range e.g.Peers(v) {
+		if e.markDirty(u) {
+			grown = true
+		}
+	}
+	return grown
+}
+
+// installPrev installs an external prev as the engine's outcome (the
+// pre-fixed base every delta pass starts from). When prev aliases the
+// engine's own outcome — a chained RunDelta — the caller skips this
+// entirely: the base is already in place, and per-AS snapshots taken
+// by markDirty carry the comparison values.
+func (e *Engine) installPrev(prev *Outcome) {
+	o := &e.out
+	copy(o.Class, prev.Class)
+	copy(o.Len, prev.Len)
+	copy(o.Secure, prev.Secure)
+	copy(o.Label, prev.Label)
+	copy(o.Next, prev.Next)
+}
+
+// installDelta prepares one delta pass: every dirty AS is cleared back
+// to the no-route state (pre-fixed ASes keep the previous outcome), the
+// captured roots are re-planted, and fixedList is rebuilt to cover
+// exactly the fixed entries — so the stage machinery, and a later run's
+// epoch reset, see a consistent state.
+func (e *Engine) installDelta() {
+	o := &e.out
+	for _, v := range e.dirtyList {
+		o.Class[v] = policy.ClassNone
+		o.Len[v] = 0
+		o.Secure[v] = false
+		o.Label[v] = LabelNone
+		o.Next[v] = asgraph.None
+	}
+	for _, r := range e.deltaSeeds {
+		o.Class[r.v] = policy.ClassOrigin
+		o.Len[r.v] = r.len
+		o.Secure[r.v] = r.secure
+		o.Label[r.v] = r.label
+		o.Next[r.v] = asgraph.None
+	}
+	e.fixedList = e.fixedList[:0]
+	for v := range o.Class {
+		if o.Class[v] != policy.ClassNone {
+			e.fixedList = append(e.fixedList, asgraph.AS(v))
+		}
+	}
+}
+
+// changedFromPrev reports whether v's outcome differs from the
+// installed snapshot in any field.
+func (e *Engine) changedFromPrev(v asgraph.AS) bool {
+	o, po := &e.out, &e.prevOut
+	return o.Class[v] != po.Class[v] || o.Len[v] != po.Len[v] ||
+		o.Secure[v] != po.Secure[v] || o.Label[v] != po.Label[v] ||
+		o.Next[v] != po.Next[v]
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/policy"
+	"sbgp/internal/topogen"
+)
+
+// growDeployment returns a copy of dep enlarged by roughly k ASes drawn
+// from rng: non-stubs join Full, stubs split between Full and Simplex,
+// and occasionally an existing simplex member is promoted into Full
+// (legal: additions only, on both sets). The returned added list is
+// exactly the delta RunDelta must be told about.
+func growDeployment(g *asgraph.Graph, dep *Deployment, k int, rng *rand.Rand) (*Deployment, []asgraph.AS) {
+	n := g.N()
+	var full, simplex *asgraph.Set
+	if dep == nil {
+		full, simplex = asgraph.NewSet(n), asgraph.NewSet(n)
+	} else {
+		full, simplex = dep.Full.Clone(), dep.Simplex.Clone()
+	}
+	var added []asgraph.AS
+	for i := 0; i < k; i++ {
+		v := asgraph.AS(rng.Intn(n))
+		switch {
+		case simplex.Has(v) && !full.Has(v) && rng.Intn(2) == 0:
+			full.Add(v) // simplex → full promotion (still an addition)
+			added = append(added, v)
+		case full.Has(v) || simplex.Has(v):
+			continue
+		case g.IsAnyStub(v) && rng.Intn(2) == 0:
+			simplex.Add(v)
+			added = append(added, v)
+		default:
+			full.Add(v)
+			added = append(added, v)
+		}
+	}
+	return &Deployment{Full: full, Simplex: simplex}, added
+}
+
+// TestRunDeltaMatchesFromScratch is the tentpole contract: chained
+// RunDelta along a nested deployment series is field-for-field equal to
+// a from-scratch run at every step, for every security model, both
+// local-preference variants, and all four shipped attack seeders.
+func TestRunDeltaMatchesFromScratch(t *testing.T) {
+	graphs := map[string]*asgraph.Graph{}
+	tg, _ := topogen.MustGenerate(topogen.Params{N: 600, Seed: 31})
+	graphs["topogen-600"] = tg
+	graphs["random-60"] = randomGraph(41, 60)
+	attacks := []Attack{nil, NoAttack{}, PathPadding{Hops: 3}, OriginSpoof{}, OneHopHijack{}}
+	for name, g := range graphs {
+		n := g.N()
+		for _, lp := range []policy.LocalPref{policy.Standard, policy.LP2} {
+			for _, model := range policy.Models {
+				rng := rand.New(rand.NewSource(int64(model) + 10*int64(lp.K) + int64(n)))
+				delta := NewEngineLP(g, model, lp)
+				scratch := NewEngineLP(g, model, lp)
+				for _, atk := range attacks {
+					d := asgraph.AS(rng.Intn(n))
+					m := asgraph.AS(rng.Intn(n))
+					if m == d {
+						m = asgraph.None
+					}
+					dep, _ := growDeployment(g, nil, n/20, rng)
+					prev := delta.RunAttack(d, m, dep, atk)
+					atkName := "default"
+					if atk != nil {
+						atkName = atk.Name()
+					}
+					for step := 0; step < 8; step++ {
+						// Vary the delta size: single ASes, small bursts,
+						// the occasional empty step, and one step that
+						// secures the destination itself (flipping its
+						// origin security).
+						k := []int{0, 1, 1, 2, 5, 9, 1, 3}[step]
+						next, added := growDeployment(g, dep, k, rng)
+						if step == 5 && !next.Full.Has(d) && !next.Simplex.Has(d) {
+							next.Full.Add(d)
+							added = append(added, d)
+						}
+						got := delta.RunDelta(prev, added, next, atk)
+						want := scratch.RunAttack(d, m, next, atk)
+						if !outcomesEqual(got, want) {
+							t.Fatalf("%s %v %v attack %s step %d (d=%d m=%d, |added|=%d): RunDelta diverges from from-scratch run",
+								name, model, lp, atkName, step, d, m, len(added))
+						}
+						prev, dep = got, next
+					}
+				}
+				if delta.deltaFallbacks == 8*len(attacks) {
+					t.Fatalf("%s %v %v: every RunDelta fell back to the from-scratch path; the incremental path was never exercised", name, model, lp)
+				}
+			}
+		}
+	}
+}
+
+// TestRunDeltaExternalPrev: prev need not alias the engine's own
+// outcome — a retained Clone from another engine works identically, and
+// the engine may interleave unrelated runs in between.
+func TestRunDeltaExternalPrev(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 400, Seed: 32})
+	n := g.N()
+	rng := rand.New(rand.NewSource(5))
+	for _, model := range policy.Models {
+		producer := NewEngine(g, model)
+		delta := NewEngine(g, model)
+		scratch := NewEngine(g, model)
+		dep, _ := growDeployment(g, nil, n/10, rng)
+		d, m := asgraph.AS(rng.Intn(n)), asgraph.AS(rng.Intn(n))
+		if m == d {
+			m = asgraph.None
+		}
+		prev := producer.Run(d, m, dep).Clone()
+		for step := 0; step < 4; step++ {
+			// An unrelated run in between must not perturb the delta.
+			delta.Run(asgraph.AS(rng.Intn(n)), asgraph.None, nil)
+			next, added := growDeployment(g, dep, 1+rng.Intn(4), rng)
+			got := delta.RunDelta(prev, added, next, nil)
+			want := scratch.Run(d, m, next)
+			if !outcomesEqual(got, want) {
+				t.Fatalf("%v step %d: RunDelta from external prev diverges", model, step)
+			}
+			prev, dep = got.Clone(), next
+		}
+	}
+}
+
+// TestRunDeltaFallback: a delta touching most of the graph crosses the
+// adaptive threshold and falls back to the from-scratch path — still
+// exactly equal, and the engine stays healthy for further runs.
+func TestRunDeltaFallback(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 300, Seed: 33})
+	n := g.N()
+	for _, model := range policy.Models {
+		delta := NewEngine(g, model)
+		scratch := NewEngine(g, model)
+		prev := delta.Run(2, 7, nil)
+		// Secure every even AS at once: the dirty set immediately
+		// exceeds n/4.
+		full := asgraph.NewSet(n)
+		var added []asgraph.AS
+		for v := 0; v < n; v += 2 {
+			full.Add(asgraph.AS(v))
+			added = append(added, asgraph.AS(v))
+		}
+		next := &Deployment{Full: full}
+		got := delta.RunDelta(prev, added, next, nil)
+		want := scratch.Run(2, 7, next)
+		if !outcomesEqual(got, want) {
+			t.Fatalf("%v: fallback RunDelta diverges from from-scratch run", model)
+		}
+		// A subsequent small delta on the fallback result is exact too.
+		next2, added2 := growDeployment(g, next, 2, rand.New(rand.NewSource(1)))
+		got2 := delta.RunDelta(got, added2, next2, nil)
+		want2 := scratch.Run(2, 7, next2)
+		if !outcomesEqual(got2, want2) {
+			t.Fatalf("%v: post-fallback RunDelta diverges", model)
+		}
+	}
+}
+
+// TestRunDeltaNoStateLeak: interleaving RunDelta chains with ordinary
+// runs — including switching destinations, attackers, and strategies
+// between deltas — leaves no dirty-set or snapshot state behind: every
+// run equals the one a fresh engine computes. This is the engine half
+// of the cancellation-cleanliness contract (the sweep layer's race test
+// covers the scheduler half).
+func TestRunDeltaNoStateLeak(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 400, Seed: 34})
+	n := g.N()
+	rng := rand.New(rand.NewSource(9))
+	attacks := []Attack{nil, NoAttack{}, PathPadding{Hops: 4}}
+	e := NewEngine(g, policy.Sec2nd)
+	dep, _ := growDeployment(g, nil, n/10, rng)
+	for round := 0; round < 10; round++ {
+		d, m := asgraph.AS(rng.Intn(n)), asgraph.AS(rng.Intn(n))
+		if m == d {
+			m = asgraph.None
+		}
+		atk := attacks[rng.Intn(len(attacks))]
+		prev := e.RunAttack(d, m, dep, atk)
+		next, added := growDeployment(g, dep, 1+rng.Intn(3), rng)
+		got := e.RunDelta(prev, added, next, atk)
+		want := NewEngine(g, policy.Sec2nd).RunAttack(d, m, next, atk)
+		if !outcomesEqual(got, want) {
+			t.Fatalf("round %d: delta run diverges from a fresh engine", round)
+		}
+		// The very next ordinary run must also be clean.
+		d2 := asgraph.AS(rng.Intn(n))
+		gotPlain := e.Run(d2, asgraph.None, dep)
+		wantPlain := NewEngine(g, policy.Sec2nd).Run(d2, asgraph.None, dep)
+		if !outcomesEqual(gotPlain, wantPlain) {
+			t.Fatalf("round %d: ordinary run after RunDelta diverges from a fresh engine", round)
+		}
+		dep = next
+	}
+}
+
+// condOriginAttack plants a helper origin only while the *destination*
+// is still insecure — a deployment-dependent seeding, the hardest case
+// for RunDelta: when the condition flips along a rollout the helper's
+// root must *vanish*, even though the helper itself is nowhere near the
+// added set and would otherwise stay pre-fixed from the previous fixed
+// point.
+type condOriginAttack struct{ helper asgraph.AS }
+
+func (condOriginAttack) Name() string { return "cond-origin" }
+func (a condOriginAttack) Seed(s *Seeder) {
+	s.OriginateDest()
+	s.AnnounceBogus(1)
+	if !s.Dep.FullSecure(s.Dst) && a.helper != s.Dst && a.helper != s.Attacker {
+		s.Originate(a.helper, 2, false, LabelDest)
+	}
+}
+
+// TestRunDeltaVanishedRoot: a root present in prev but absent from the
+// new seeding (deployment-dependent attacks) is recomputed as an
+// ordinary AS, and its neighbors see the change — the mirror case of a
+// changed origination.
+func TestRunDeltaVanishedRoot(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 400, Seed: 35})
+	n := g.N()
+	const d, m = 5, 9
+	// A helper that is not adjacent to the destination, so the vanish
+	// cannot be masked by the added set's own dirty neighborhood.
+	var helper asgraph.AS = asgraph.None
+	for _, v := range asgraph.NonStubs(g) {
+		if v == d || v == m || g.Rel(v, d) != asgraph.RelNone {
+			continue
+		}
+		helper = v
+		break
+	}
+	if helper == asgraph.None {
+		t.Fatal("fixture broken: no non-stub helper away from the destination")
+	}
+	atk := condOriginAttack{helper: helper}
+	for _, model := range policy.Models {
+		delta := NewEngine(g, model)
+		scratch := NewEngine(g, model)
+		prev := delta.RunAttack(d, m, nil, atk)
+		if prev.Class[helper] != policy.ClassOrigin {
+			t.Fatalf("%v: fixture broken — helper AS%d not seeded under the empty deployment", model, helper)
+		}
+		// Securing the destination flips the seeding condition: the
+		// helper's root — far from the added set — must disappear from
+		// the delta run exactly as it does from a from-scratch run.
+		dep := &Deployment{Full: asgraph.SetOf(n, d)}
+		got := delta.RunDelta(prev, []asgraph.AS{d}, dep, atk)
+		want := scratch.RunAttack(d, m, dep, atk)
+		if !outcomesEqual(got, want) {
+			t.Fatalf("%v: RunDelta kept a vanished root (helper AS%d: class %v, want %v)",
+				model, helper, got.Class[helper], want.Class[helper])
+		}
+		// A further step that removes nothing: the (still vanished)
+		// root stays vanished and the delta stays exact.
+		other := asgraph.NonStubs(g)[5]
+		if other == helper {
+			other = asgraph.NonStubs(g)[6]
+		}
+		dep2 := &Deployment{Full: asgraph.SetOf(n, d, other)}
+		got2 := delta.RunDelta(got, []asgraph.AS{other}, dep2, atk)
+		want2 := scratch.RunAttack(d, m, dep2, atk)
+		if !outcomesEqual(got2, want2) {
+			t.Fatalf("%v: second delta step after a vanished root diverges", model)
+		}
+	}
+}
+
+// TestRunDeltaRevivedRoute: an AS with *no route at all* in prev can be
+// revived by a delta — a neighbor's route-class flip re-enables an
+// export that never reached it — and the revival must propagate to
+// pre-fixed neighbors whose best route changes because of it. The
+// fixture: under security 1st, w prefers a secure provider route via q
+// over an insecure customer route via a, so w exports nothing upward
+// and the provider chain x0 → x1 above it is unrouted; z (peer of x1)
+// sits on a worse provider ladder. Securing a flips w to a secure
+// customer route, revives x0 and x1, and hands z a preferred peer
+// route — chained RunDelta must track the whole cascade.
+func TestRunDeltaRevivedRoute(t *testing.T) {
+	const (
+		d  = asgraph.AS(0)
+		w  = asgraph.AS(1)
+		a  = asgraph.AS(2)
+		q  = asgraph.AS(3)
+		x0 = asgraph.AS(4)
+		x1 = asgraph.AS(5)
+		z  = asgraph.AS(6)
+		y  = asgraph.AS(7)
+	)
+	// Pad with stubs under y so the interesting region stays far below
+	// the adaptive fallback threshold — a tiny graph would silently
+	// fall back to the from-scratch path and mask the cascade.
+	const n = 108
+	gb := asgraph.NewBuilder(n)
+	gb.AddProviderCustomer(q, d)
+	gb.AddProviderCustomer(q, w)
+	gb.AddProviderCustomer(w, a)
+	gb.AddProviderCustomer(a, d)
+	gb.AddProviderCustomer(x0, w)
+	gb.AddProviderCustomer(x1, x0)
+	gb.AddPeer(x1, z)
+	gb.AddProviderCustomer(y, z)
+	gb.AddProviderCustomer(q, y)
+	for pad := asgraph.AS(8); pad < n; pad++ {
+		gb.AddProviderCustomer(y, pad)
+	}
+	g := gb.MustBuild()
+
+	prevDep := &Deployment{Full: asgraph.SetOf(n, d, q, w)}
+	nextDep := &Deployment{Full: asgraph.SetOf(n, d, q, w, a)}
+
+	delta := NewEngine(g, policy.Sec1st)
+	scratch := NewEngine(g, policy.Sec1st)
+
+	prev := delta.RunAttack(d, asgraph.None, prevDep, NoAttack{})
+	if prev.Class[x0] != policy.ClassNone || prev.Class[x1] != policy.ClassNone {
+		t.Fatalf("fixture broken: x0/x1 routed in prev (%v, %v), want unrouted", prev.Class[x0], prev.Class[x1])
+	}
+	if prev.Class[z] != policy.ClassProvider {
+		t.Fatalf("fixture broken: z class %v in prev, want provider", prev.Class[z])
+	}
+	// The chained (aliased-prev) call is the hardest case: snapshots are
+	// taken from the engine's own outcome as it is rewritten.
+	got := delta.RunDelta(prev, []asgraph.AS{a}, nextDep, NoAttack{})
+	want := scratch.RunAttack(d, asgraph.None, nextDep, NoAttack{})
+	if want.Class[z] != policy.ClassPeer {
+		t.Fatalf("fixture broken: z class %v from scratch, want the revived peer route", want.Class[z])
+	}
+	if !outcomesEqual(got, want) {
+		t.Fatalf("RunDelta missed the revived route cascade: z = (%v len %d), want (%v len %d)",
+			got.Class[z], got.Len[z], want.Class[z], want.Len[z])
+	}
+}
+
+// TestDeploymentDelta covers the nested-superset detection and the
+// returned member delta.
+func TestDeploymentDelta(t *testing.T) {
+	mk := func(full, simplex []asgraph.AS) *Deployment {
+		return &Deployment{Full: asgraph.SetOf(64, full...), Simplex: asgraph.SetOf(64, simplex...)}
+	}
+	small := mk([]asgraph.AS{1, 5}, []asgraph.AS{9})
+	big := mk([]asgraph.AS{1, 5, 7}, []asgraph.AS{9, 11})
+
+	added, nested := DeploymentDelta(small, big)
+	if !nested || len(added) != 2 || added[0] != 7 || added[1] != 11 {
+		t.Fatalf("DeploymentDelta(small, big) = (%v, %v), want ([7 11], true)", added, nested)
+	}
+	if _, nested := DeploymentDelta(big, small); nested {
+		t.Error("shrinking deployment reported as nested")
+	}
+	if added, nested := DeploymentDelta(nil, small); !nested || len(added) != 3 {
+		t.Errorf("DeploymentDelta(nil, small) = (%v, %v), want all three members and true", added, nested)
+	}
+	if added, nested := DeploymentDelta(small, small); !nested || len(added) != 0 {
+		t.Errorf("DeploymentDelta(x, x) = (%v, %v), want ([], true)", added, nested)
+	}
+	if added, nested := DeploymentDelta(nil, nil); !nested || len(added) != 0 {
+		t.Errorf("DeploymentDelta(nil, nil) = (%v, %v), want ([], true)", added, nested)
+	}
+	// A simplex→full promotion is an addition on Full and keeps Simplex
+	// nested.
+	promoted := mk([]asgraph.AS{1, 5, 9}, []asgraph.AS{9})
+	if added, nested := DeploymentDelta(small, promoted); !nested || len(added) != 1 || added[0] != 9 {
+		t.Errorf("promotion delta = (%v, %v), want ([9], true)", added, nested)
+	}
+}

@@ -48,6 +48,25 @@ type Engine struct {
 	// costs O(1) instead of O(n).
 	off        []offerAcc
 	stageEpoch uint32
+
+	// Incremental-run scratch (RunDelta; see delta.go). inDirty and
+	// prevOut are allocated on first use so engines that never run
+	// incrementally pay nothing; prevOut holds per-AS snapshots of the
+	// previous outcome, valid only at dirty indices. deltaPrev is the
+	// in-flight call's prev outcome (the snapshot source); deltaDirty
+	// is non-nil only while a delta pass's stages execute: it makes
+	// stage seeding iterate the dirty work list instead of scanning
+	// every AS.
+	prevOut    Outcome
+	inDirty    []bool
+	dirtyList  []asgraph.AS
+	deltaSeeds []seedRec
+	deltaPrev  *Outcome
+	deltaDirty []asgraph.AS
+	// deltaFallbacks counts RunDelta calls that crossed the adaptive
+	// threshold and re-ran from scratch (tests assert the incremental
+	// path actually runs).
+	deltaFallbacks int
 }
 
 // offerAcc is the per-AS candidate accumulator for one stage. The
@@ -351,6 +370,14 @@ func (e *Engine) tryOffer(u, w asgraph.AS, st policy.Stage, dep *Deployment) boo
 // minimal-length group. Tree stages fix at the first bucket level with
 // any candidate, so only the group fields are consulted.
 func (e *Engine) fixFromOffer(u asgraph.AS, class policy.Class, st policy.Stage, dep *Deployment) {
+	if e.deltaDirty != nil && !e.inDirty[u] {
+		// A delta pass is reviving an AS that was unrouted in prev (only
+		// unfixed ASes reach a fix site, and every previously-routed
+		// unfixed AS is already dirty). Mark it before the write so its
+		// snapshot is intact and the fixpoint check propagates the
+		// revival; see delta.go.
+		e.markDirty(u)
+	}
 	acc := &e.off[u]
 	full := dep.FullSecure(u)
 	length, next, label := acc.len, acc.next, acc.label
@@ -376,6 +403,11 @@ func (e *Engine) fixFromOffer(u asgraph.AS, class policy.Class, st policy.Stage,
 // pool (at any length) before minimizing length; the other placements
 // reduce to the same minimal-length group preference as tree stages.
 func (e *Engine) fixPeerFromOffer(u asgraph.AS, st policy.Stage, dep *Deployment) {
+	if e.deltaDirty != nil && !e.inDirty[u] {
+		// Revival of a previously-unrouted AS mid-delta-pass; see
+		// fixFromOffer and delta.go.
+		e.markDirty(u)
+	}
 	acc := &e.off[u]
 	full := dep.FullSecure(u)
 	var (
@@ -448,43 +480,56 @@ func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
 			}
 		}
 	}
+	// seedIn gathers the offers an unfixed u can already receive from
+	// its fixed in-neighbors and queues u at its minimal offered length.
+	seedIn := func(u asgraph.AS) {
+		if st.SecureOnly && !dep.FullSecure(u) {
+			return // u cannot validate, so it can never fix here
+		}
+		var inNbrs []asgraph.AS
+		if up {
+			inNbrs = e.g.Customers(u)
+		} else {
+			inNbrs = e.g.Providers(u)
+		}
+		for _, w := range inNbrs {
+			if !e.fixed(w) || (up && !e.exportsWide(w)) {
+				continue
+			}
+			if st.SecureOnly && !o.Secure[w] {
+				continue
+			}
+			if e.admissible(st, u, w, dep) {
+				e.tryOffer(u, w, st, dep)
+			}
+		}
+		if acc := &e.off[u]; acc.ep == e.stageEpoch {
+			push(u, acc.len)
+		}
+	}
 	// Seed the bucket queue. Direction-optimized like a bottom-up BFS:
 	// early stages have few fixed ASes, so scanning their out-edges is
 	// cheap; late stages have few *unfixed* ASes, so scanning only those
 	// ASes' in-edges touches far fewer edges than re-walking the whole
-	// fixed set's adjacency.
-	if 2*len(e.fixedList) <= e.g.N() {
+	// fixed set's adjacency. Delta passes know the unfixed ASes exactly
+	// — they are the dirty work list — so they skip the scan entirely.
+	// (Same-length seeding order does not matter: an AS fixed at bucket
+	// level L only offers to level L+1, and accumulator merges commute.)
+	switch {
+	case e.deltaDirty != nil:
+		for _, u := range e.deltaDirty {
+			if !e.fixed(u) {
+				seedIn(u)
+			}
+		}
+	case 2*len(e.fixedList) <= e.g.N():
 		for _, w := range e.fixedList {
 			trigger(w)
 		}
-	} else {
+	default:
 		for v := 0; v < e.g.N(); v++ {
-			u := asgraph.AS(v)
-			if e.fixed(u) {
-				continue
-			}
-			if st.SecureOnly && !dep.FullSecure(u) {
-				continue // u cannot validate, so it can never fix here
-			}
-			var inNbrs []asgraph.AS
-			if up {
-				inNbrs = e.g.Customers(u)
-			} else {
-				inNbrs = e.g.Providers(u)
-			}
-			for _, w := range inNbrs {
-				if !e.fixed(w) || (up && !e.exportsWide(w)) {
-					continue
-				}
-				if st.SecureOnly && !o.Secure[w] {
-					continue
-				}
-				if e.admissible(st, u, w, dep) {
-					e.tryOffer(u, w, st, dep)
-				}
-			}
-			if acc := &e.off[u]; acc.ep == e.stageEpoch {
-				push(u, acc.len)
+			if u := asgraph.AS(v); !e.fixed(u) {
+				seedIn(u)
 			}
 		}
 	}
@@ -522,8 +567,33 @@ func (e *Engine) runPeerStage(st policy.Stage, dep *Deployment) {
 	}
 	e.bumpStageEpoch()
 	e.touched = e.touched[:0]
-	// Direction-optimized work-list seeding, as in runTreeStage.
-	if 2*len(e.fixedList) <= e.g.N() {
+	// seedIn gathers the peer offers an unfixed u can receive and adds
+	// u to the relaxation work list if it got any.
+	seedIn := func(u asgraph.AS) {
+		if st.SecureOnly && !dep.FullSecure(u) {
+			return
+		}
+		offered := false
+		for _, w := range e.g.Peers(u) {
+			if e.fixed(w) && e.exportsWide(w) && e.admissible(st, u, w, dep) {
+				e.tryOffer(u, w, st, dep)
+				offered = true
+			}
+		}
+		if offered {
+			e.touched = append(e.touched, u)
+		}
+	}
+	// Direction-optimized work-list seeding, as in runTreeStage; delta
+	// passes iterate the dirty work list instead of scanning every AS.
+	switch {
+	case e.deltaDirty != nil:
+		for _, u := range e.deltaDirty {
+			if !e.fixed(u) {
+				seedIn(u)
+			}
+		}
+	case 2*len(e.fixedList) <= e.g.N():
 		for _, w := range e.fixedList {
 			if !e.exportsWide(w) || (st.SecureOnly && !e.out.Secure[w]) {
 				continue
@@ -538,24 +608,10 @@ func (e *Engine) runPeerStage(st policy.Stage, dep *Deployment) {
 		for _, u := range e.touched {
 			e.inTouch[u] = false
 		}
-	} else {
+	default:
 		for v := 0; v < e.g.N(); v++ {
-			u := asgraph.AS(v)
-			if e.fixed(u) {
-				continue
-			}
-			if st.SecureOnly && !dep.FullSecure(u) {
-				continue
-			}
-			offered := false
-			for _, w := range e.g.Peers(u) {
-				if e.fixed(w) && e.exportsWide(w) && e.admissible(st, u, w, dep) {
-					e.tryOffer(u, w, st, dep)
-					offered = true
-				}
-			}
-			if offered {
-				e.touched = append(e.touched, u)
+			if u := asgraph.AS(v); !e.fixed(u) {
+				seedIn(u)
 			}
 		}
 	}

@@ -36,6 +36,62 @@ func BenchmarkEngineRun(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineRunDelta measures one step of an incremental rollout
+// chain on a 4000-AS topology — a single AS turning secure between
+// consecutive runs — against the from-scratch run the delta replaces.
+func BenchmarkEngineRunDelta(b *testing.B) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 4000, Seed: 1})
+	n := g.N()
+	nonStubs := asgraph.NonStubs(g)
+	// A chain of deployments each one non-stub larger than the last.
+	const chainLen = 64
+	deps := make([]*Deployment, chainLen)
+	added := make([][]asgraph.AS, chainLen)
+	full := asgraph.NewSet(n)
+	for v := 0; v < n; v += 3 {
+		full.Add(asgraph.AS(v))
+	}
+	cand := len(nonStubs) - 1
+	for i := 0; i < chainLen; i++ {
+		// Skip candidates already secure so every measured step adds
+		// exactly one AS — no free empty-delta iterations.
+		for cand >= 0 && full.Has(nonStubs[cand]) {
+			cand--
+		}
+		if cand < 0 {
+			b.Fatal("ran out of insecure non-stubs for the chain")
+		}
+		a := nonStubs[cand]
+		full.Add(a)
+		added[i] = []asgraph.AS{a}
+		deps[i] = &Deployment{Full: full.Clone()}
+	}
+	d, m := asgraph.AS(17), nonStubs[0]
+	b.Run("from-scratch", func(b *testing.B) {
+		e := NewEngine(g, policy.Sec2nd)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = e.Run(d, m, deps[i%chainLen])
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		e := NewEngine(g, policy.Sec2nd)
+		prev := e.Run(d, m, deps[0])
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i%(chainLen-1) + 1
+			if k == 1 {
+				b.StopTimer()
+				prev = e.Run(d, m, deps[0])
+				b.StartTimer()
+			}
+			prev = e.RunDelta(prev, added[k], deps[k], nil)
+		}
+	})
+}
+
 // BenchmarkEngineRunSparse measures runs that touch only a small part of
 // the graph: 100 disconnected 40-AS provider trees, attacks staying
 // within one tree. The epoch reset pays O(touched) per run where the

@@ -58,19 +58,33 @@ type Workload struct {
 	// ignore it.
 	Attack core.Attack
 
+	// Incremental makes the metric grids use deployment-ordered
+	// scheduling with Engine.RunDelta reuse across nested deployments
+	// (identical results, faster rollout-shaped experiments).
+	Incremental bool
+
 	Workers int
 }
 
 // Config sizes a workload. The zero value gives the default experiment
 // scale (4000 ASes, 24×32 sampled pairs).
 type Config struct {
-	N          int         // topology size (default 4000)
-	Seed       int64       // generator seed (default 1)
+	N int // topology size (default 4000)
+	// Seed selects the generator stream. For backward compatibility a
+	// zero Seed defaults to 1 unless SeedSet is true, which makes seed
+	// 0 an honest, distinct stream (the CLIs always set it, so
+	// `-seed 0` means seed zero).
+	Seed int64
+	// SeedSet marks Seed as explicit: Seed == 0 is then used as-is.
+	SeedSet    bool
 	MaxM       int         // attacker sample size (default 24)
 	MaxD       int         // destination sample size (default 32)
 	MaxPerDest int         // per-destination series sample (default 200)
 	Attack     core.Attack // threat model (nil = one-hop hijack)
-	Workers    int         // 0 = GOMAXPROCS
+	// Incremental enables delta reuse across nested deployments in the
+	// metric grids (see Workload.Incremental).
+	Incremental bool
+	Workers     int // 0 = GOMAXPROCS
 
 	// FullEnumeration replaces the MaxM/MaxD sampling with the paper's
 	// actual methodology (Appendix H): every non-stub attacker × every
@@ -85,7 +99,7 @@ func (c *Config) applyDefaults() {
 	if c.N == 0 {
 		c.N = 4000
 	}
-	if c.Seed == 0 {
+	if c.Seed == 0 && !c.SeedSet {
 		c.Seed = 1
 	}
 	if c.MaxM == 0 {
@@ -102,14 +116,14 @@ func (c *Config) applyDefaults() {
 // NewWorkload generates the topology and samples pairs.
 func NewWorkload(cfg Config) *Workload {
 	cfg.applyDefaults()
-	g, meta := topogen.MustGenerate(topogen.Params{N: cfg.N, Seed: cfg.Seed})
+	g, meta := topogen.MustGenerate(topogen.Params{N: cfg.N, Seed: cfg.Seed, SeedSet: true})
 	return newWorkloadFromGraph(g, meta, cfg)
 }
 
 // NewIXPWorkload is NewWorkload on the IXP-augmented graph (Appendix J).
 func NewIXPWorkload(cfg Config) *Workload {
 	cfg.applyDefaults()
-	g, meta := topogen.MustGenerate(topogen.Params{N: cfg.N, Seed: cfg.Seed})
+	g, meta := topogen.MustGenerate(topogen.Params{N: cfg.N, Seed: cfg.Seed, SeedSet: true})
 	aug, _ := asgraph.AugmentIXP(g, meta.IXPs)
 	return newWorkloadFromGraph(aug, meta, cfg)
 }
@@ -135,9 +149,10 @@ func newWorkloadFromGraph(g *asgraph.Graph, meta *topogen.Meta, cfg Config) *Wor
 		All: all, NonStubs: nonStubs,
 		M: M, D: D,
 		DTiered: dTiered, MTiered: mTiered,
-		MaxPerDest: cfg.MaxPerDest,
-		Attack:     cfg.Attack,
-		Workers:    cfg.Workers,
+		MaxPerDest:  cfg.MaxPerDest,
+		Attack:      cfg.Attack,
+		Incremental: cfg.Incremental,
+		Workers:     cfg.Workers,
 	}
 }
 
@@ -151,6 +166,7 @@ func (w *Workload) Baseline(model policy.Model, lp policy.LocalPref) runner.Metr
 		Attackers:    w.M,
 		Destinations: w.D,
 		Attack:       w.Attack,
+		Incremental:  w.Incremental,
 		Workers:      w.Workers,
 	}
 	return grid.MustEvaluate(w.G).Cells[0].Metric
@@ -173,6 +189,7 @@ func (w *Workload) baselineGrid(lp policy.LocalPref) *sweep.Grid {
 		Attackers:    w.M,
 		Destinations: w.D,
 		Attack:       w.Attack,
+		Incremental:  w.Incremental,
 		Workers:      w.Workers,
 	}
 }
@@ -308,6 +325,7 @@ func (w *Workload) Rollout(steps []deploy.Step, D []asgraph.AS, lp policy.LocalP
 		Attackers:    w.M,
 		Destinations: D,
 		Attack:       w.Attack,
+		Incremental:  w.Incremental,
 		Workers:      w.Workers,
 	}
 	res := grid.MustEvaluate(w.G)
@@ -346,6 +364,7 @@ func (w *Workload) SecureDestDeltas(dep *core.Deployment, lp policy.LocalPref) [
 		Destinations: ds,
 		PerDest:      true,
 		Attack:       w.Attack,
+		Incremental:  w.Incremental,
 		Workers:      w.Workers,
 	}
 	res := grid.MustEvaluate(w.G)

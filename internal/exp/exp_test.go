@@ -207,6 +207,52 @@ func TestFullEnumerationWorkload(t *testing.T) {
 	}
 }
 
+// TestIncrementalWorkloadEquality: every metric experiment that runs
+// through the sweep grids — the headline grid, the rollouts, and the
+// per-destination delta series — produces identical numbers with
+// Config.Incremental set, while actually exercising the delta path.
+func TestIncrementalWorkloadEquality(t *testing.T) {
+	cfg := Config{N: 600, Seed: 1, MaxM: 8, MaxD: 10, MaxPerDest: 20}
+	plain := NewWorkload(cfg)
+	cfg.Incremental = true
+	inc := NewWorkload(cfg)
+
+	var wantGrid, gotGrid bytes.Buffer
+	if err := plain.BaselineGrid(policy.Standard).WriteJSON(&wantGrid); err != nil {
+		t.Fatal(err)
+	}
+	if err := inc.BaselineGrid(policy.Standard).WriteJSON(&gotGrid); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantGrid.Bytes(), gotGrid.Bytes()) {
+		t.Error("incremental BaselineGrid diverges")
+	}
+
+	steps := deploy.Tier12Rollout(plain.G, plain.Tiers, false)
+	want := plain.Rollout(steps, plain.D, policy.Standard)
+	got := inc.Rollout(steps, inc.D, policy.Standard)
+	if len(want) != len(got) {
+		t.Fatalf("rollout lengths differ: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("rollout step %d diverges:\n  plain %+v\n  incr  %+v", i, want[i], got[i])
+		}
+	}
+
+	last := steps[len(steps)-1].Deployment
+	wantD := plain.SecureDestDeltas(last, policy.Standard)
+	gotD := inc.SecureDestDeltas(last, policy.Standard)
+	for _, model := range policy.Models {
+		for i := range wantD[model] {
+			if wantD[model][i] != gotD[model][i] {
+				t.Fatalf("%v: per-destination delta %d diverges (%g vs %g)",
+					model, i, wantD[model][i], gotD[model][i])
+			}
+		}
+	}
+}
+
 func TestTierSizesMatchTable1(t *testing.T) {
 	sizes := testW.TierSizes()
 	if sizes[asgraph.TierT1] != 13 {

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"sort"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+)
+
+// Deployment-ordered scheduling for incremental grids. A chainPlan
+// partitions the grid's deployment axis into nested chains: within a
+// chain each deployment is a superset (on both the Full and Simplex
+// sets) of the one before it, so per (model, destination, attacker) the
+// chain can be walked with Engine.RunDelta reusing each step's fixed
+// point instead of a from-scratch run per cell. Deployments that nest
+// with nothing form singleton chains and evaluate exactly as before.
+//
+// The plan only regroups work: RunDelta is exact and the aggregation
+// stays positional, so results remain byte-identical to the
+// non-incremental evaluation at any worker count, shard size, and
+// chain shape — the goldens pin this.
+
+// chainStep is one deployment of a chain, with the members gained since
+// the previous step (empty for the chain's head, which always runs from
+// scratch).
+type chainStep struct {
+	si    int // index into the grid's deployment axis
+	added []asgraph.AS
+}
+
+// chainPlan maps the deployment axis onto nested chains.
+type chainPlan struct {
+	chains  [][]chainStep
+	chainOf []int // deployment index → chain index
+	posOf   []int // deployment index → position within its chain
+}
+
+// buildChainPlan greedily covers the deployment axis with nested
+// chains: deployments are considered smallest first, and each attaches
+// to the chain whose tail is its largest nested predecessor (ties to
+// the earliest chain), or starts a new chain. Greedy suffices — an
+// imperfect cover only costs extra from-scratch chain heads, never
+// correctness.
+func buildChainPlan(deps []Deployment) *chainPlan {
+	size := func(dp *core.Deployment) int {
+		if dp == nil {
+			return 0
+		}
+		return dp.Full.Len() + dp.Simplex.Len()
+	}
+	order := make([]int, len(deps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return size(deps[order[a]].Dep) < size(deps[order[b]].Dep)
+	})
+	p := &chainPlan{chainOf: make([]int, len(deps)), posOf: make([]int, len(deps))}
+	for _, si := range order {
+		best, bestSize := -1, -1
+		var bestAdded []asgraph.AS
+		for ci := range p.chains {
+			tail := p.chains[ci][len(p.chains[ci])-1].si
+			if sz := size(deps[tail].Dep); sz > bestSize {
+				if added, nested := core.DeploymentDelta(deps[tail].Dep, deps[si].Dep); nested {
+					best, bestSize, bestAdded = ci, sz, added
+				}
+			}
+		}
+		if best >= 0 {
+			p.chainOf[si], p.posOf[si] = best, len(p.chains[best])
+			p.chains[best] = append(p.chains[best], chainStep{si: si, added: bestAdded})
+		} else {
+			p.chainOf[si], p.posOf[si] = len(p.chains), 0
+			p.chains = append(p.chains, []chainStep{{si: si}})
+		}
+	}
+	return p
+}
+
+// addedBetween returns the cumulative member delta across the chain's
+// steps (from, to], for delta runs that skip intermediate steps (e.g.
+// when a shard holds only part of a chain).
+func addedBetween(ch []chainStep, from, to int) []asgraph.AS {
+	if to == from+1 {
+		return ch[to].added
+	}
+	var added []asgraph.AS
+	for p := from + 1; p <= to; p++ {
+		added = append(added, ch[p].added...)
+	}
+	return added
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 )
 
 // The checkpoint file is JSON lines: a header record binding the file
@@ -122,6 +124,29 @@ type checkpointFile struct {
 	resumed []*ShardPartial
 }
 
+// syncDir fsyncs the directory containing path. Per-record f.Sync()
+// makes the *contents* durable, but a newly created file's directory
+// entry is not durable until its parent directory is synced — without
+// this, a crash shortly after sweep start can lose the whole checkpoint
+// despite every record having been fsync'd.
+func syncDir(path string) error {
+	if runtime.GOOS == "windows" {
+		// Directories cannot be fsync'd through a read-only handle on
+		// Windows (FlushFileBuffers fails); NTFS metadata journaling
+		// covers the directory entry. Same policy as etcd/badger.
+		return nil
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
 // openCheckpoint opens path for the grid identified by fingerprint and
 // cells, and resolves the shard size: reqSize is the caller's request
 // (≤ 0 for the default). With resume set and a usable existing file,
@@ -147,11 +172,22 @@ func openCheckpoint(path, fingerprint string, cells, tasks, reqSize int, resume 
 			}
 			// Drop a torn final line before appending: without this, the
 			// first new record would fuse with the torn bytes into an
-			// invalid interior line and poison every later resume.
+			// invalid interior line and poison every later resume. The
+			// truncation is fsync'd (file and directory) before any new
+			// record lands, so a crash right here cannot resurrect the
+			// torn bytes under freshly appended ones.
 			if valid := bytes.LastIndexByte(data, '\n') + 1; valid < len(data) {
 				if terr := f.Truncate(int64(valid)); terr != nil {
 					f.Close()
 					return nil, 0, terr
+				}
+				if serr := f.Sync(); serr != nil {
+					f.Close()
+					return nil, 0, serr
+				}
+				if derr := syncDir(path); derr != nil {
+					f.Close()
+					return nil, 0, derr
 				}
 			}
 			return &checkpointFile{f: f, resumed: resumed}, size, nil
@@ -178,6 +214,13 @@ func openCheckpoint(path, fingerprint string, cells, tasks, reqSize int, resume 
 		ShardSize:   size,
 		Shards:      numShards(cells, size),
 	}); err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	// Make the file's directory entry durable: without this, a crash
+	// after sweep start could lose the whole file, per-record fsyncs
+	// notwithstanding.
+	if err := syncDir(path); err != nil {
 		f.Close()
 		return nil, 0, err
 	}

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOpenCheckpointTruncateReopen unit-tests the torn-tail recovery
+// path in isolation: openCheckpoint must truncate the torn bytes from
+// the file itself (not just ignore them in memory) and sync the
+// truncation, so records appended afterwards form valid lines and every
+// later resume parses the whole file.
+func TestOpenCheckpointTruncateReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.ckpt")
+
+	const fp = "0123456789abcdef"
+	hdr, _ := json.Marshal(checkpointHeader{
+		V: checkpointVersion, Kind: recordHeader, Fingerprint: fp,
+		Cells: 40, ShardSize: 8, Shards: 5,
+	})
+	s0, _ := json.Marshal(shardRecord{Kind: recordShard, ShardPartial: &ShardPartial{
+		Shard: 0, Tasks: []int{0, 1}, Lo: []int{3, 4}, Hi: []int{3, 5}, Pairs: []int{2, 2},
+	}})
+	s1, _ := json.Marshal(shardRecord{Kind: recordShard, ShardPartial: &ShardPartial{
+		Shard: 2, Tasks: []int{3}, Lo: []int{1}, Hi: []int{2}, Pairs: []int{1},
+	}})
+	var file bytes.Buffer
+	for _, line := range [][]byte{hdr, s0, s1} {
+		file.Write(line)
+		file.WriteByte('\n')
+	}
+	complete := file.Len()
+	file.WriteString(`{"kind":"shard","shard":4,"tasks":[`) // torn final append
+	if err := os.WriteFile(path, file.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, size, err := openCheckpoint(path, fp, 40, 10, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 8 {
+		t.Errorf("resume adopted shard size %d, want the file's 8", size)
+	}
+	if len(cp.resumed) != 2 {
+		t.Errorf("resume loaded %d partials, want 2", len(cp.resumed))
+	}
+	// The torn tail must be gone from the file itself before anything
+	// is appended.
+	if fi, err := os.Stat(path); err != nil || fi.Size() != int64(complete) {
+		t.Errorf("file size after reopen = %v (err %v), want %d (torn tail truncated)", fi.Size(), err, complete)
+	}
+
+	// A record appended post-truncation starts on a fresh line.
+	if err := cp.append(&ShardPartial{Shard: 4, Tasks: []int{9}, Lo: []int{1}, Hi: []int{1}, Pairs: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partials, _, err := parseCheckpoint(data, fp, 40, 10, 0)
+	if err != nil {
+		t.Fatalf("file unparseable after truncate-reopen-append: %v", err)
+	}
+	if len(partials) != 3 {
+		t.Errorf("parsed %d partials after append, want 3", len(partials))
+	}
+	for _, p := range partials {
+		if p.Shard == 4 && (len(p.Tasks) != 1 || p.Tasks[0] != 9) {
+			t.Errorf("appended record corrupted: %+v", p)
+		}
+	}
+
+	// A second resume of the same file sees all three records and a
+	// clean tail.
+	cp2, _, err := openCheckpoint(path, fp, 40, 10, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.close()
+	if len(cp2.resumed) != 3 {
+		t.Errorf("second resume loaded %d partials, want 3", len(cp2.resumed))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -107,7 +108,120 @@ func TestGoldenSweepJSON(t *testing.T) {
 			if !bytes.Equal(sharded.Bytes(), want) {
 				t.Errorf("sharded sweep JSON diverges from golden %s", path)
 			}
+
+			// The incremental scheduler — flat and sharded — must too,
+			// even on this partially-nested deployment axis.
+			for _, w := range []int{1, workers} {
+				igr := goldenGrid(g, w, tc.attack)
+				igr.Incremental = true
+				var flat bytes.Buffer
+				if err := igr.MustEvaluate(g).WriteJSON(&flat); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(flat.Bytes(), want) {
+					t.Errorf("incremental sweep JSON (workers=%d) diverges from golden %s", w, path)
+				}
+				ires, err := igr.EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: 37})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var ish bytes.Buffer
+				if err := ires.WriteJSON(&ish); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ish.Bytes(), want) {
+					t.Errorf("incremental sharded sweep JSON (workers=%d) diverges from golden %s", w, path)
+				}
+			}
 		})
+	}
+}
+
+// nestedGrid is a rollout-shaped grid: a chain of strictly nested
+// deployments (growing non-stub prefixes plus their stub customers)
+// and a second chain of simplex variants, the shape the incremental
+// scheduler is built for.
+func nestedGrid(g *asgraph.Graph, workers int, incremental bool) *Grid {
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 6, 8)
+	nonStubs := asgraph.NonStubs(g)
+	deployments := []Deployment{{Name: "baseline"}}
+	for _, k := range []int{3, 9, 18, 30} {
+		anchors := asgraph.SetOf(g.N(), nonStubs[:k]...)
+		stubs := asgraph.StubCustomersOf(g, anchors)
+		full := anchors.Clone()
+		for _, v := range stubs {
+			full.Add(v)
+		}
+		deployments = append(deployments,
+			Deployment{Name: fmt.Sprintf("step%d", k), Dep: &core.Deployment{Full: full}},
+			Deployment{Name: fmt.Sprintf("step%d+simplex", k), Dep: &core.Deployment{
+				Full:    anchors.Clone(),
+				Simplex: asgraph.SetOf(g.N(), stubs...),
+			}},
+		)
+	}
+	return &Grid{
+		Deployments:  deployments,
+		Attackers:    M,
+		Destinations: D,
+		PerDest:      true,
+		Incremental:  incremental,
+		Workers:      workers,
+	}
+}
+
+// TestGoldenNestedDeployments pins the nested-deployment (rollout-
+// shaped) grid: the non-incremental evaluation is the golden authority,
+// and the incremental scheduler — flat and sharded, across worker
+// counts and shard sizes — must reproduce it byte for byte.
+func TestGoldenNestedDeployments(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 500, Seed: 17})
+	path := filepath.Join("testdata", "golden_nested.json")
+
+	var serial bytes.Buffer
+	if err := nestedGrid(g, 1, false).MustEvaluate(g).WriteJSON(&serial); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(path, serial.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(serial.Bytes(), want) {
+		t.Errorf("non-incremental nested grid diverges from golden:\n--- got ---\n%s", serial.String())
+	}
+
+	workerCounts := []int{1, 4}
+	sizes := []int{5, 64, 100000}
+	if raceEnabled {
+		workerCounts, sizes = []int{4}, []int{64}
+	}
+	for _, w := range workerCounts {
+		igr := nestedGrid(g, w, true)
+		var flat bytes.Buffer
+		if err := igr.MustEvaluate(g).WriteJSON(&flat); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(flat.Bytes(), want) {
+			t.Errorf("incremental nested grid (workers=%d) diverges from golden", w)
+		}
+		for _, size := range sizes {
+			res, err := nestedGrid(g, w, true).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: size})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sharded bytes.Buffer
+			if err := res.WriteJSON(&sharded); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sharded.Bytes(), want) {
+				t.Errorf("incremental sharded nested grid (workers=%d, shard=%d) diverges from golden", w, size)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,228 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/runner"
+	"sbgp/internal/topogen"
+)
+
+// TestChainPlan covers the greedy nested-chain cover on the axis shapes
+// the experiments produce.
+func TestChainPlan(t *testing.T) {
+	dep := func(full ...asgraph.AS) *core.Deployment {
+		return &core.Deployment{Full: asgraph.SetOf(64, full...)}
+	}
+	simplex := func(full []asgraph.AS, sx ...asgraph.AS) *core.Deployment {
+		return &core.Deployment{Full: asgraph.SetOf(64, full...), Simplex: asgraph.SetOf(64, sx...)}
+	}
+
+	// Rollout shape: baseline, nested full steps interleaved with
+	// nested simplex variants — two chains, baseline heading the first.
+	deps := []Deployment{
+		{Name: "baseline"},
+		{Name: "s0", Dep: dep(1, 2, 10, 11)},
+		{Name: "s0x", Dep: simplex([]asgraph.AS{1, 2}, 10, 11)},
+		{Name: "s1", Dep: dep(1, 2, 3, 10, 11, 12)},
+		{Name: "s1x", Dep: simplex([]asgraph.AS{1, 2, 3}, 10, 11, 12)},
+	}
+	p := buildChainPlan(deps)
+	if len(p.chains) != 2 {
+		t.Fatalf("rollout axis built %d chains, want 2", len(p.chains))
+	}
+	var names [][]string
+	for _, ch := range p.chains {
+		var ns []string
+		for _, step := range ch {
+			ns = append(ns, deps[step.si].Name)
+		}
+		names = append(names, ns)
+	}
+	wantChains := [][]string{{"baseline", "s0", "s1"}, {"s0x", "s1x"}}
+	for ci, want := range wantChains {
+		if len(names[ci]) != len(want) {
+			t.Fatalf("chains = %v, want %v", names, wantChains)
+		}
+		for k, n := range want {
+			if names[ci][k] != n {
+				t.Fatalf("chains = %v, want %v", names, wantChains)
+			}
+		}
+	}
+	// The delta of s1 over s0 is exactly the gained members.
+	s1 := p.chains[0][2]
+	if len(s1.added) != 2 || s1.added[0] != 3 || s1.added[1] != 12 {
+		t.Errorf("s1 chain step added = %v, want [3 12]", s1.added)
+	}
+	// addedBetween across a skipped step accumulates both deltas.
+	between := addedBetween(p.chains[0], 0, 2)
+	if len(between) != 6 {
+		t.Errorf("addedBetween(baseline → s1) = %v, want all six members", between)
+	}
+
+	// A subset-first axis (the SecureDestDeltas shape, declared superset
+	// first) still chains: declaration order does not matter.
+	p2 := buildChainPlan([]Deployment{{Name: "with", Dep: dep(1, 2, 3)}, {Name: "without"}})
+	if len(p2.chains) != 1 || p2.chains[0][0].si != 1 || p2.chains[0][1].si != 0 {
+		t.Errorf("superset-first axis did not chain smallest-first: %+v", p2.chains)
+	}
+
+	// Incomparable deployments stay singleton chains.
+	p3 := buildChainPlan([]Deployment{{Name: "a", Dep: dep(1)}, {Name: "b", Dep: dep(2)}})
+	if len(p3.chains) != 2 {
+		t.Errorf("incomparable axis built %d chains, want 2", len(p3.chains))
+	}
+}
+
+// TestIncrementalEquivalenceMixedChains: the incremental scheduler on a
+// deliberately messy axis (duplicated sizes, incomparable deployments,
+// chains, and an empty-delta pair) matches the default scheduling
+// exactly, flat and sharded.
+func TestIncrementalEquivalenceMixedChains(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 300, Seed: 19})
+	n := g.N()
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(n), 8, 10)
+	evens, odds, low := asgraph.NewSet(n), asgraph.NewSet(n), asgraph.NewSet(n)
+	for v := 0; v < n; v++ {
+		if v%2 == 0 {
+			evens.Add(asgraph.AS(v))
+		} else {
+			odds.Add(asgraph.AS(v))
+		}
+		if v < n/3 {
+			low.Add(asgraph.AS(v))
+		}
+	}
+	grid := func(incremental bool) *Grid {
+		return &Grid{
+			Deployments: []Deployment{
+				{Name: "baseline"},
+				{Name: "evens", Dep: &core.Deployment{Full: evens}},
+				{Name: "odds", Dep: &core.Deployment{Full: odds}},
+				{Name: "low", Dep: &core.Deployment{Full: low}},
+				{Name: "low2", Dep: &core.Deployment{Full: low.Clone()}}, // empty delta over low
+			},
+			Attackers:    M,
+			Destinations: D,
+			PerDest:      true,
+			Incremental:  incremental,
+			Workers:      4,
+		}
+	}
+	var want bytes.Buffer
+	if err := grid(false).MustEvaluate(g).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	var flat bytes.Buffer
+	if err := grid(true).MustEvaluate(g).WriteJSON(&flat); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(flat.Bytes(), want.Bytes()) {
+		t.Error("incremental evaluation diverges on the mixed axis")
+	}
+	res, err := grid(true).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sharded bytes.Buffer
+	if err := res.WriteJSON(&sharded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sharded.Bytes(), want.Bytes()) {
+		t.Error("incremental sharded evaluation diverges on the mixed axis")
+	}
+}
+
+// TestShardedCancelSinkNeverObservesLatePartial is the cancellation
+// contract, run with and without the incremental scheduler (and under
+// -race in CI): once ctx.Err() is set — here by the sink itself — no
+// further partial reaches the sink or the checkpoint; a resumed run
+// (fresh RunDelta chains over the same engines' cell space) starts
+// clean and lands on the uninterrupted bytes exactly.
+func TestShardedCancelSinkNeverObservesLatePartial(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 250, Seed: 13})
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 10, 20)
+	nested := asgraph.SetOf(g.N(), asgraph.NonStubs(g)...)
+	for _, incremental := range []bool{false, true} {
+		grid := func() *Grid {
+			return &Grid{
+				Deployments: []Deployment{
+					{Name: "baseline"},
+					{Name: "nonstubs", Dep: &core.Deployment{Full: nested}},
+				},
+				Attackers:    M,
+				Destinations: D,
+				PerDest:      true,
+				Incremental:  incremental,
+				Workers:      4, // >1 even on single-core machines: the race needs concurrent deliveries
+			}
+		}
+		var want bytes.Buffer
+		if err := grid().MustEvaluate(g).WriteJSON(&want); err != nil {
+			t.Fatal(err)
+		}
+
+		// Single-cell shards maximize the cancel window: a worker that
+		// passed its one ctx check before the cancel still finishes its
+		// cell and tries to deliver.
+		ckpt := filepath.Join(t.TempDir(), "cancel.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		var calls, late atomic.Int32
+		res, err := grid().EvaluateSharded(ctx, g, ShardOptions{
+			ShardSize:  1,
+			Checkpoint: ckpt,
+			Sink: func(*ShardPartial) error {
+				if ctx.Err() != nil {
+					late.Add(1)
+				}
+				if calls.Add(1) == 64 {
+					// Dwell before cancelling so the other workers have
+					// finished their in-flight cells and parked on the
+					// delivery mutex — the exact interleaving in which an
+					// unsuppressed late partial would reach the sink.
+					time.Sleep(5 * time.Millisecond)
+					cancel()
+				}
+				return nil
+			},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("incremental=%v: cancelled run returned (%v, %v), want (nil, context.Canceled)", incremental, res, err)
+		}
+		if late.Load() != 0 {
+			t.Errorf("incremental=%v: sink observed %d partials after ctx.Err() was set", incremental, late.Load())
+		}
+		// The checkpoint holds exactly the shards whose sink ran: each
+		// record is appended immediately before its sink call, under the
+		// same suppression check.
+		_, partials := readCheckpoint(t, ckpt)
+		if len(partials) != int(calls.Load()) {
+			t.Errorf("incremental=%v: checkpoint has %d records, sink ran %d times", incremental, len(partials), calls.Load())
+		}
+
+		res2, err := grid().EvaluateSharded(context.Background(), g, ShardOptions{
+			ShardSize:  1,
+			Checkpoint: ckpt,
+			Resume:     true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := res2.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("incremental=%v: resumed result diverges from the uninterrupted run", incremental)
+		}
+	}
+}

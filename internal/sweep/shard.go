@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 
 	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
 	"sbgp/internal/runner"
 )
 
@@ -148,9 +150,7 @@ func (gr *Grid) evaluateShard(ctx context.Context, g *asgraph.Graph, ws *workerS
 		if (ti+1)*ax.na > end {
 			aiEnd = end - ti*ax.na
 		}
-		di := ti % ax.nd
-		mi := (ti / ax.nd) % ax.nm
-		si := ti / (ax.nd * ax.nm)
+		si, mi, di := ax.decodeTask(ti)
 		e := ws.engine(g, ax.models[mi], gr.LP)
 		d := gr.Destinations[di]
 		dep := ax.deps[si].Dep
@@ -173,6 +173,80 @@ func (gr *Grid) evaluateShard(ctx context.Context, g *asgraph.Graph, ws *workerS
 			p.Pairs = append(p.Pairs, a.pairs)
 		}
 		cs = ti*ax.na + aiEnd
+	}
+	return p, true
+}
+
+// evaluateShardChained computes the same partial as evaluateShard, but
+// walks the shard's cells chain-by-chain: cells sharing a (chain,
+// model, destination, attacker) group are evaluated in nested
+// deployment order with RunDelta reuse, skipping across chain steps
+// that fall outside the shard by accumulating their member deltas. The
+// emitted partial lists tasks in the same ascending order with the same
+// exact integer counts, so the merged result stays byte-identical.
+func (gr *Grid) evaluateShardChained(ctx context.Context, g *asgraph.Graph, ws *workerState, ax *axes, plan *chainPlan, shard, start, end int) (p *ShardPartial, ok bool) {
+	// Group the shard's runnable cells by (chain, model, destination,
+	// attacker); values are chain positions, walked in nested order.
+	type groupKey struct{ ci, mi, di, ai int }
+	groups := make(map[groupKey][]int)
+	for cs := start; cs < end; cs++ {
+		ti := cs / ax.na
+		ai := cs % ax.na
+		si, mi, di := ax.decodeTask(ti)
+		if gr.Attackers[ai] == gr.Destinations[di] {
+			continue
+		}
+		k := groupKey{plan.chainOf[si], mi, di, ai}
+		groups[k] = append(groups[k], plan.posOf[si])
+	}
+	// Iteration order over the map is irrelevant: every cell's counts
+	// are exact integers accumulated positionally per task.
+	accs := make(map[int]*destAcc)
+	for k, positions := range groups {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		sort.Ints(positions)
+		ch := plan.chains[k.ci]
+		e := ws.engine(g, ax.models[k.mi], gr.LP)
+		d := gr.Destinations[k.di]
+		m := gr.Attackers[k.ai]
+		var prev *core.Outcome
+		prevPos := -1
+		for _, pos := range positions {
+			step := ch[pos]
+			dep := ax.deps[step.si].Dep
+			var o *core.Outcome
+			if prev == nil {
+				o = e.RunAttack(d, m, dep, gr.Attack)
+			} else {
+				o = e.RunDelta(prev, addedBetween(ch, prevPos, pos), dep, gr.Attack)
+			}
+			ti := (step.si*ax.nm+k.mi)*ax.nd + k.di
+			a := accs[ti]
+			if a == nil {
+				a = &destAcc{}
+				accs[ti] = a
+			}
+			lo, hi := o.HappyBounds()
+			a.lo += lo
+			a.hi += hi
+			a.pairs++
+			prev, prevPos = o, pos
+		}
+	}
+	p = &ShardPartial{Shard: shard}
+	tis := make([]int, 0, len(accs))
+	for ti := range accs {
+		tis = append(tis, ti)
+	}
+	sort.Ints(tis)
+	for _, ti := range tis {
+		a := accs[ti]
+		p.Tasks = append(p.Tasks, ti)
+		p.Lo = append(p.Lo, a.lo)
+		p.Hi = append(p.Hi, a.hi)
+		p.Pairs = append(p.Pairs, a.pairs)
 	}
 	return p, true
 }
@@ -243,6 +317,13 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 		}
 	}
 
+	// Incremental grids walk nested-deployment chains inside each shard
+	// (the plan is shared, read-only, across workers).
+	var plan *chainPlan
+	if gr.Incremental {
+		plan = buildChainPlan(ax.deps)
+	}
+
 	// abort lets a checkpoint or sink failure stop the remaining shards
 	// without waiting for the whole grid.
 	ctx, abort := context.WithCancel(ctx)
@@ -258,13 +339,24 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 		if end > ax.cells {
 			end = ax.cells
 		}
-		p, ok := gr.evaluateShard(ctx, g, ws, ax, s, start, end)
+		var p *ShardPartial
+		var ok bool
+		if plan != nil {
+			p, ok = gr.evaluateShardChained(ctx, g, ws, ax, plan, s, start, end)
+		} else {
+			p, ok = gr.evaluateShard(ctx, g, ws, ax, s, start, end)
+		}
 		if !ok {
 			return
 		}
 		mu.Lock()
 		defer mu.Unlock()
-		if sinkErr != nil {
+		// A shard that completed only after cancellation is discarded:
+		// once ctx.Err() is set, neither the checkpoint nor the sink may
+		// observe another partial (the shard simply re-runs on resume).
+		// Checked under mu, so a sink that cancels the context is
+		// guaranteed to never be called again.
+		if sinkErr != nil || ctx.Err() != nil {
 			return
 		}
 		if cp != nil {

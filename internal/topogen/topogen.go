@@ -31,8 +31,13 @@ import (
 type Params struct {
 	// N is the total number of ASes (default 4000).
 	N int
-	// Seed selects the deterministic random stream (default 1).
+	// Seed selects the deterministic random stream. A zero Seed
+	// defaults to 1 unless SeedSet is true — set SeedSet whenever the
+	// seed comes from user input, so that seed 0 is an honest, distinct
+	// stream rather than a silent alias of seed 1.
 	Seed int64
+	// SeedSet marks Seed as explicit: Seed == 0 is then used as-is.
+	SeedSet bool
 	// NumTier1 is the size of the provider-free top clique (default 13,
 	// matching Table 1).
 	NumTier1 int
@@ -63,7 +68,7 @@ func (p *Params) applyDefaults() {
 	if p.N == 0 {
 		p.N = 4000
 	}
-	if p.Seed == 0 {
+	if p.Seed == 0 && !p.SeedSet {
 		p.Seed = 1
 	}
 	if p.NumTier1 == 0 {

@@ -232,9 +232,22 @@ type (
 	OriginSpoof = core.OriginSpoof
 )
 
+// MaxPadHops bounds the claimed path length of a bogus announcement.
+// The clamp lives in internal/core and is shared by every seeding path
+// (built-in strategies, ParseAttack, and custom Attacks alike), so no
+// origination can overflow the engine's int32 length arithmetic.
+const MaxPadHops = core.MaxPadHops
+
 // ParseAttack resolves an -attack flag value ("one-hop", "none",
 // "origin-spoof", "pad-K") to a strategy.
 func ParseAttack(name string) (Attack, error) { return core.ParseAttack(name) }
+
+// DeploymentDelta returns the ASes gained from prev to next and whether
+// next is a superset of prev on both the Full and Simplex sets — the
+// precondition for incremental (delta) evaluation.
+func DeploymentDelta(prev, next *Deployment) (added []AS, nested bool) {
+	return core.DeploymentDelta(prev, next)
+}
 
 // Attacks lists the built-in strategies for help text and tables.
 func Attacks() []Attack { return core.Attacks() }

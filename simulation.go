@@ -15,13 +15,14 @@ type Simulation struct {
 	meta  *TopologyMeta
 	tiers *Tiers
 
-	model   Model
-	models  []Model
-	lp      LocalPref
-	attack  Attack
-	workers int
-	ctx     context.Context
-	resolve bool
+	model       Model
+	models      []Model
+	lp          LocalPref
+	attack      Attack
+	workers     int
+	ctx         context.Context
+	resolve     bool
+	incremental bool
 
 	shardSize  int
 	checkpoint string
@@ -155,8 +156,45 @@ func (s *Simulation) grid(attackers, destinations []AS) *Grid {
 		Attackers:    attackers,
 		Destinations: destinations,
 		Attack:       s.attack,
+		Incremental:  s.incremental,
 		Workers:      s.workers,
 	}
+}
+
+// RunDeltaSeries computes the outcome of one (destination, attacker)
+// pair under each deployment of a series, in order, reusing each step's
+// fixed point for the next via Engine.RunDelta whenever the next
+// deployment is a superset of the current one (the nested S₁ ⊂ S₂ ⊂ …
+// shape of the paper's rollout experiments); non-nested steps fall back
+// to a from-scratch run. Pass m = NoAS for normal conditions, and nil
+// entries for the S = ∅ baseline. Each returned outcome is an
+// independent clone, indexed like deps; results are identical to
+// running every deployment from scratch. Cancelling the scenario
+// context aborts the series between steps.
+func (s *Simulation) RunDeltaSeries(d, m AS, deps []*Deployment) ([]*Outcome, error) {
+	if err := s.checkRun(d, m); err != nil {
+		return nil, err
+	}
+	e := s.Engine(s.model)
+	out := make([]*Outcome, len(deps))
+	var prev *Outcome
+	for i, dep := range deps {
+		if err := s.ctx.Err(); err != nil {
+			return nil, err
+		}
+		var o *Outcome
+		if prev != nil {
+			if added, nested := DeploymentDelta(deps[i-1], dep); nested {
+				o = e.RunDelta(prev, added, dep, s.attack)
+			}
+		}
+		if o == nil {
+			o = e.RunAttack(d, m, dep, s.attack)
+		}
+		out[i] = o.Clone()
+		prev = o
+	}
+	return out, nil
 }
 
 // SweepSharded is Sweep through the sharded evaluator: the same grid,
