@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare fmt-check vet staticcheck examples-smoke fuzz-smoke ci
+.PHONY: all build test race bench bench-smoke bench-compare cover fmt-check vet staticcheck examples-smoke fuzz-smoke ci
 
 all: build
 
 build:
 	$(GO) build ./...
 
+# test shuffles execution order, mirroring CI, so inter-test state
+# dependencies can't hide.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
+
+# cover mirrors CI's coverage-summary step for the two hot packages.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/core/ ./internal/sweep/
+	$(GO) tool cover -func=coverage.out
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/sweep/...

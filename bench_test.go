@@ -516,10 +516,10 @@ func BenchmarkRolloutSeries(b *testing.B) {
 	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 4, 4)
 	for _, mode := range []struct {
 		name        string
-		incremental bool
+		incremental sweep.IncrementalMode
 	}{
-		{"from-scratch", false},
-		{"incremental", true},
+		{"from-scratch", sweep.IncrementalOff},
+		{"incremental", sweep.IncrementalAuto},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			grid := &sweep.Grid{
@@ -532,6 +532,54 @@ func BenchmarkRolloutSeries(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res := grid.MustEvaluate(g)
+				if len(res.Cells) != len(deployments)*policy.NumModels {
+					b.Fatalf("grid has %d cells", len(res.Cells))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossShardChain measures the sharded evaluator on the same
+// fine-grained rollout grid as BenchmarkRolloutSeries, with shards
+// small enough (64 cells against 25-step chains × 4 attackers) that
+// every chain crosses many shard boundaries. The chain-major schedule
+// keeps each chain's cells in consecutive shards and hands the tail
+// fixed point across each boundary, so almost no chain head re-runs;
+// the from-scratch variant pays a full engine run for every cell of
+// every shard.
+func BenchmarkCrossShardChain(b *testing.B) {
+	g, meta := topogen.MustGenerate(topogen.Params{N: 4000, Seed: 1})
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	deployments := []sweep.Deployment{{Name: "baseline"}}
+	for k := 1; k <= 24; k++ {
+		deployments = append(deployments, sweep.Deployment{
+			Name: fmt.Sprintf("t2x%d", k),
+			Dep:  deploy.Build(g, tiers, deploy.Spec{NumTier2: k, IncludeStubs: true}),
+		})
+	}
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 4, 4)
+	for _, mode := range []struct {
+		name        string
+		incremental sweep.IncrementalMode
+	}{
+		{"from-scratch", sweep.IncrementalOff},
+		{"chain-major", sweep.IncrementalAuto},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			grid := &sweep.Grid{
+				Deployments:  deployments,
+				Attackers:    M,
+				Destinations: D,
+				Incremental:  mode.incremental,
+				Workers:      1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := grid.EvaluateSharded(context.Background(), g, sweep.ShardOptions{ShardSize: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
 				if len(res.Cells) != len(deployments)*policy.NumModels {
 					b.Fatalf("grid has %d cells", len(res.Cells))
 				}

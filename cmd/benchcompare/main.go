@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -97,6 +98,7 @@ func run(w io.Writer, dir string, threshold float64, args []string) (int, error)
 	regressions := 0
 	var onlyNew []string
 	seen := make(map[string]bool)
+	logRatioSum, compared := 0.0, 0
 	for _, nb := range newB.Benchmarks {
 		seen[nb.Name] = true
 		ob, ok := oldBy[nb.Name]
@@ -104,10 +106,12 @@ func run(w io.Writer, dir string, threshold float64, args []string) (int, error)
 			onlyNew = append(onlyNew, nb.Name)
 			continue
 		}
-		if ob.NsPerOp <= 0 {
+		if ob.NsPerOp <= 0 || nb.NsPerOp <= 0 {
 			continue
 		}
 		pct := 100 * (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		logRatioSum += math.Log(nb.NsPerOp / ob.NsPerOp)
+		compared++
 		marker := ""
 		if pct > threshold {
 			marker = "  <-- regression"
@@ -123,11 +127,19 @@ func run(w io.Writer, dir string, threshold float64, args []string) (int, error)
 			fmt.Fprintf(w, "%-60s (removed benchmark)\n", ob.Name)
 		}
 	}
+	if compared > 0 {
+		// The geometric mean of the per-benchmark time ratios: the
+		// suite-wide trajectory in one number, immune to a single huge
+		// benchmark dominating an arithmetic average.
+		geomean := math.Exp(logRatioSum / float64(compared))
+		fmt.Fprintf(w, "\ngeomean over %d benchmark(s): %+.1f%% (ratio %.3f)\n",
+			compared, 100*(geomean-1), geomean)
+	}
 	if regressions > 0 {
-		fmt.Fprintf(w, "\n%d benchmark(s) slowed by more than %.0f%%\n", regressions, threshold)
+		fmt.Fprintf(w, "%d benchmark(s) slowed by more than %.0f%%\n", regressions, threshold)
 		return 1, nil
 	}
-	fmt.Fprintf(w, "\nno regression beyond %.0f%%\n", threshold)
+	fmt.Fprintf(w, "no regression beyond %.0f%%\n", threshold)
 	return 0, nil
 }
 

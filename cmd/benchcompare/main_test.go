@@ -40,7 +40,9 @@ func TestRunComparesNewestTwo(t *testing.T) {
 	if code != 0 {
 		t.Errorf("10%% slowdown under a 25%% threshold exited %d, want 0", code)
 	}
-	for _, want := range []string{"BenchmarkA", "+10.0%", "BenchmarkNew", "(new benchmark)", "BenchmarkGone", "(removed benchmark)"} {
+	// One compared benchmark at +10% ⇒ the geomean line is that ratio.
+	for _, want := range []string{"BenchmarkA", "+10.0%", "BenchmarkNew", "(new benchmark)", "BenchmarkGone", "(removed benchmark)",
+		"geomean over 1 benchmark(s): +10.0% (ratio 1.100)"} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
 		}

@@ -63,8 +63,10 @@ func main() {
 		"with -sweep: JSON-lines checkpoint file (one fsync'd record per completed shard)")
 	resume := flag.Bool("resume", false,
 		"with -sweep: skip shards already recorded in -checkpoint")
-	incremental := flag.Bool("incremental", false,
-		"with -sweep: reuse fixed points across nested deployments (delta evaluation; identical results)")
+	var incremental sbgp.IncrementalFlag
+	flag.Var(&incremental,
+		"incremental",
+		"with -sweep: delta scheduling mode, -incremental=auto|on|off (default auto reuses fixed points across nested deployments; bare -incremental means on; identical results)")
 	flag.Parse()
 
 	var model sbgp.Model
@@ -89,7 +91,7 @@ func main() {
 		sbgp.WithNamedDeployment(*deployFlag),
 		sbgp.WithAttack(attack),
 		sbgp.WithWorkers(*workers),
-		sbgp.WithIncremental(*incremental),
+		sbgp.WithIncremental(incremental.Mode),
 	}
 	if *graphPath != "" {
 		opts = append(opts, sbgp.WithGraphFile(*graphPath))

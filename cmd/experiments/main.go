@@ -8,7 +8,7 @@
 //	experiments [-n 4000] [-seed 1] [-maxm 24] [-maxd 32] [-perdest 200]
 //	            [-workers 0] [-quick] [-skip-ixp] [-json grid.json]
 //	            [-attack one-hop] [-full] [-shards N]
-//	            [-checkpoint sweep.ckpt] [-resume] [-incremental]
+//	            [-checkpoint sweep.ckpt] [-resume] [-incremental[=auto|on|off]]
 //
 // -quick shrinks everything for a fast smoke run. -json additionally
 // writes the headline (model × deployment) sweep grid as a JSON
@@ -25,11 +25,12 @@
 // survives interruption: rerun with -resume and the completed shards
 // are skipped, with byte-identical output.
 //
-// -incremental turns on delta evaluation for the metric grids: nested
+// Delta evaluation is on by default (-incremental=auto): nested
 // deployments (the rollout sequences) reuse the previous step's fixed
 // point via Engine.RunDelta instead of recomputing every destination
-// from scratch. Output is byte-identical; rollout-shaped experiments
-// run severalfold faster.
+// from scratch, and grids whose deployment axes don't nest fall back
+// to the legacy schedule automatically. Output is byte-identical in
+// every mode; -incremental=off forces the from-scratch order.
 package main
 
 import (
@@ -62,8 +63,10 @@ func main() {
 		"JSON-lines checkpoint file for the -json grid (one fsync'd record per shard)")
 	resume := flag.Bool("resume", false,
 		"skip shards already recorded in -checkpoint")
-	incremental := flag.Bool("incremental", false,
-		"reuse each deployment's fixed point across nested deployments (delta evaluation; identical results)")
+	var incremental sbgp.IncrementalFlag
+	flag.Var(&incremental,
+		"incremental",
+		"delta scheduling mode, -incremental=auto|on|off (default auto reuses each deployment's fixed point across nested deployments; bare -incremental means on; identical results)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -84,12 +87,12 @@ func main() {
 
 	cfg := sbgp.ExperimentConfig{
 		N: *n, Seed: *seed, SeedSet: true, MaxM: *maxM, MaxD: *maxD, MaxPerDest: *perDest,
-		Attack: attack, Incremental: *incremental, Workers: *workers, FullEnumeration: *full,
+		Attack: attack, Incremental: incremental.Mode, Workers: *workers, FullEnumeration: *full,
 	}
 	if *quick {
 		cfg = sbgp.ExperimentConfig{
 			N: 800, Seed: *seed, SeedSet: true, MaxM: 10, MaxD: 12, MaxPerDest: 40,
-			Attack: attack, Incremental: *incremental, Workers: *workers, FullEnumeration: *full,
+			Attack: attack, Incremental: incremental.Mode, Workers: *workers, FullEnumeration: *full,
 		}
 	}
 

@@ -38,12 +38,15 @@
 // CLIs expose the same via -full/-shards/-checkpoint/-resume.)
 //
 // Rollout-shaped work — nested deployments S₁ ⊂ S₂ ⊂ … — evaluates
-// incrementally: WithIncremental(true) makes sweeps walk nested
-// deployment chains with Engine.RunDelta reusing each step's fixed
-// point (byte-identical results, severalfold faster), and
+// incrementally by default: the scheduler orders sweeps chain-major
+// and walks each chain with Engine.RunDelta reusing the previous
+// step's fixed point (byte-identical results, severalfold faster;
+// incomparable axes degrade to the legacy order on their own).
+// WithIncremental(IncrementalOff) restores the from-scratch schedule —
+// the CLIs expose the tri-state as -incremental=auto|on|off — and
 // Simulation.RunDeltaSeries runs one (destination, attacker) pair down
-// an explicit deployment series the same way. The CLIs expose this as
-// -incremental.
+// an explicit deployment series with signed deltas, so the series may
+// also shrink or jump between incomparable deployments.
 //
 // Every capability is reachable from this package: raw topology
 // construction (NewBuilder, NewSet, SetOf, ClassifyTiers), engines

@@ -153,10 +153,11 @@ func TestScenarioCancellation(t *testing.T) {
 }
 
 // TestIncrementalFacade drives the incremental surface end to end:
-// WithIncremental sweeps match the default byte for byte,
-// RunDeltaSeries equals per-step from-scratch runs (falling back
-// cleanly on non-nested steps), and a series interrupted by context
-// cancellation leaves the simulation's engine clean for the next call.
+// incremental sweeps (the default, and the explicit on/off overrides)
+// match each other byte for byte, RunDeltaSeries equals per-step
+// from-scratch runs (shrinking steps ride the signed removal delta),
+// and a series interrupted by context cancellation leaves the
+// simulation's engine clean for the next call.
 func TestIncrementalFacade(t *testing.T) {
 	newSim := func(opts ...sbgp.Option) *sbgp.Simulation {
 		sim, err := sbgp.NewScenario(append([]sbgp.Option{
@@ -170,8 +171,8 @@ func TestIncrementalFacade(t *testing.T) {
 		}
 		return sim
 	}
-	plain := newSim()
-	inc := newSim(sbgp.WithIncremental(true))
+	plain := newSim(sbgp.WithIncremental(sbgp.IncrementalOff))
+	inc := newSim(sbgp.WithIncremental(sbgp.IncrementalOn))
 	M, D := sbgp.SamplePairs(sbgp.NonStubs(plain.Graph()), sbgp.AllASes(plain.Graph().N()), 6, 8)
 
 	want, err := plain.Sweep(M, D)
@@ -193,9 +194,9 @@ func TestIncrementalFacade(t *testing.T) {
 		t.Error("WithIncremental sweep diverges from the default evaluation")
 	}
 
-	// RunDeltaSeries over a nested series (with one deliberate
-	// non-nested step: the t2 deployment after nonstubs shrinks the
-	// set, forcing the documented from-scratch fallback mid-series).
+	// RunDeltaSeries over a nested series with one deliberate shrinking
+	// step: the t2 deployment after nonstubs walks the set back down,
+	// exercising the signed removal delta mid-series.
 	tiers := inc.Tiers()
 	g := inc.Graph()
 	series := []*sbgp.Deployment{
@@ -234,7 +235,7 @@ func TestIncrementalFacade(t *testing.T) {
 	// work (a cancelled Simulation is permanently unusable, so there is
 	// no same-simulation "after cancel" to test here).
 	ctx, cancel := context.WithCancel(context.Background())
-	cancelable := newSim(sbgp.WithIncremental(true), sbgp.WithContext(ctx))
+	cancelable := newSim(sbgp.WithIncremental(sbgp.IncrementalOn), sbgp.WithContext(ctx))
 	cancel()
 	if _, err := cancelable.RunDeltaSeries(d, m, series); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled RunDeltaSeries returned %v, want context.Canceled", err)

@@ -6,9 +6,10 @@ import (
 )
 
 // This file implements the incremental evaluation path: RunDelta
-// recomputes a routing outcome after a deployment grows by a few ASes,
-// reusing the previous deployment's fixed point instead of re-running
-// every stage over the whole graph.
+// recomputes a routing outcome after a deployment changes by a few ASes
+// — growing, shrinking, or both at once — reusing the previous
+// deployment's fixed point instead of re-running every stage over the
+// whole graph.
 //
 // The correctness argument rests on a locality property of the staged
 // Fix-Routes algorithms: an AS's final outcome (class, length, security,
@@ -40,12 +41,19 @@ type seedRec struct {
 	label  Label
 }
 
-// DeploymentDelta returns the ASes gained from prev to next — Full and
-// Simplex members together — and whether next actually is a superset of
-// prev on both sets, the precondition of RunDelta and of the sweep
-// layer's nested-deployment chains. A nil deployment is the empty
-// S = ∅ baseline.
-func DeploymentDelta(prev, next *Deployment) (added []asgraph.AS, nested bool) {
+// DeploymentDelta returns the signed capability delta from prev to
+// next, the exact lists RunDelta must be told about. added holds the
+// ASes that gained a capability: joined the Full set (they now validate
+// and re-sign), or newly entered the origin-secure union Full ∪ Simplex.
+// removed holds the ASes that lost one: left Full, or dropped out of
+// the union entirely. Capability moves that change nothing — a
+// full-deployment AS also joining Simplex, or shedding a redundant
+// Simplex membership while in Full — appear in neither list, and a
+// simplex→full promotion is a pure addition while a full→simplex
+// demotion is a pure removal. A nil deployment is the empty S = ∅
+// baseline; next is nested over prev (the shape of a growing rollout)
+// exactly when removed is empty.
+func DeploymentDelta(prev, next *Deployment) (added, removed []asgraph.AS) {
 	var pf, ps, nf, ns *asgraph.Set
 	if prev != nil {
 		pf, ps = prev.Full, prev.Simplex
@@ -53,34 +61,45 @@ func DeploymentDelta(prev, next *Deployment) (added []asgraph.AS, nested bool) {
 	if next != nil {
 		nf, ns = next.Full, next.Simplex
 	}
-	if !nf.ContainsAll(pf) || !ns.ContainsAll(ps) {
-		return nil, false
-	}
 	added = nf.MembersNotIn(pf)
-	added = append(added, ns.MembersNotIn(ps)...)
-	return added, true
+	removed = pf.MembersNotIn(nf)
+	for _, v := range ns.MembersNotIn(ps) {
+		if !pf.Has(v) && !nf.Has(v) {
+			added = append(added, v)
+		}
+	}
+	for _, v := range ps.MembersNotIn(ns) {
+		if !pf.Has(v) && !nf.Has(v) {
+			removed = append(removed, v)
+		}
+	}
+	return added, removed
 }
 
 // RunDelta computes the stable routing outcome for the same scenario as
 // prev — destination, attacker, and attack strategy unchanged, on this
 // engine's graph, model, and local-preference variant — under the
-// enlarged deployment dep, which must equal prev's deployment plus the
-// ASes in added (S*BGP is only switched on along a rollout, never off;
-// both Full and Simplex additions belong in added). prev may be the
-// engine's own outcome from the immediately preceding run — the common
-// case in rollout chains, and the fastest one.
+// changed deployment dep, which must equal prev's deployment plus the
+// ASes in added minus the ASes in removed (DeploymentDelta computes
+// exactly these lists). A growing rollout passes removed = nil; a
+// shrinking one passes added = nil; a step between two incomparable
+// deployments passes both, a remove-then-add step in a single call.
+// prev may be the engine's own outcome from the immediately preceding
+// run — the common case in rollout chains, and the fastest one.
 //
 // The result is exactly the outcome RunAttack(prev.Dst, prev.Attacker,
 // dep, atk) would compute. The stage work is proportional to the dirty
 // region rather than the whole graph (a small O(n) bookkeeping floor
 // remains: the fixedList rebuild and the vanished-root scan are single
-// passes over one byte array each, and an external — non-chained —
-// prev costs one array copy to install); when the dirty region exceeds
-// an adaptive threshold (a quarter of the graph, mirroring the
-// rollback-vs-full-clear adaptivity of the epoch reset), RunDelta falls
-// back to the from-scratch run. Like Run, the returned Outcome is owned
-// by the engine and valid until the next run.
-func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, atk Attack) *Outcome {
+// passes over one byte array each, a removal adds one memoized walk
+// over the previous outcome's secure routes, and an external —
+// non-chained — prev costs one array copy to install); when the dirty
+// region's adjacency volume exceeds the engine's delta threshold
+// (WithDeltaThreshold; DefaultDeltaThreshold — three quarters of the
+// graph's edge volume — by default), RunDelta falls back to the
+// from-scratch run. Like Run, the returned Outcome is owned by the
+// engine and valid until the next run.
+func (e *Engine) RunDelta(prev *Outcome, added, removed []asgraph.AS, dep *Deployment, atk Attack) *Outcome {
 	n := e.g.N()
 	if len(prev.Class) != n {
 		panic("core: RunDelta outcome belongs to a different graph")
@@ -105,12 +124,12 @@ func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, at
 		panic("core: attack did not seed the destination")
 	}
 
-	// Initial dirty set: the newly secure ASes and their adjacencies
-	// (their FullSecure flag feeds every offer they receive), plus any
-	// root whose origination changed (e.g. the destination turning
-	// origin-secure) and its adjacencies. markDirty snapshots prev's
-	// entry for each AS as it is marked, so prev must be installed as
-	// the comparison source first.
+	// Initial dirty set: the ASes whose deployment flags changed and
+	// their adjacencies (their FullSecure flag feeds every offer they
+	// receive or make), plus any root whose origination changed (e.g.
+	// the destination turning origin-secure) and its adjacencies.
+	// markDirty snapshots prev's entry for each AS as it is marked, so
+	// prev must be installed as the comparison source first.
 	e.resetDirty()
 	e.deltaPrev = prev
 	defer func() { e.deltaPrev = nil }()
@@ -118,12 +137,20 @@ func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, at
 		e.markDirty(a)
 		e.markNeighborsDirty(a)
 	}
+	for _, a := range removed {
+		e.markDirty(a)
+		e.markNeighborsDirty(a)
+	}
+	e.secDrops = e.secDrops[:0]
 	for _, r := range e.deltaSeeds {
 		if prev.Class[r.v] != policy.ClassOrigin || prev.Len[r.v] != r.len ||
 			prev.Secure[r.v] != r.secure || prev.Label[r.v] != r.label ||
 			prev.Next[r.v] != asgraph.None {
 			e.markDirty(r.v)
 			e.markNeighborsDirty(r.v)
+		}
+		if prev.Secure[r.v] && !r.secure {
+			e.secDrops = append(e.secDrops, r.v)
 		}
 	}
 	// The mirror case: a root that existed in prev but is no longer
@@ -150,7 +177,19 @@ func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, at
 		if !seeded {
 			e.markDirty(asgraph.AS(v))
 			e.markNeighborsDirty(asgraph.AS(v))
+			if prev.Secure[v] {
+				e.secDrops = append(e.secDrops, asgraph.AS(v))
+			}
 		}
+	}
+	// Removals invalidate secure routes far beyond the removed ASes'
+	// neighborhoods: every AS whose secure route in prev traverses a
+	// removed AS (or ends at a root whose origin security dropped) may
+	// lose it. Seed the whole affected region up front so the first
+	// pass converges, instead of the fixpoint check crawling the
+	// invalidation one hop per pass.
+	if len(removed) > 0 || len(e.secDrops) > 0 {
+		e.seedSecureReverse(prev, removed)
 	}
 
 	installed := prev == &e.out
@@ -159,7 +198,7 @@ func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, at
 		// on the first pass, so an oversized delta costs nothing extra;
 		// after a pass, installDelta has left fixedList consistent with
 		// the outcome, so RunAttack's reset remains sound.
-		if 4*len(e.dirtyList) >= n {
+		if e.overDeltaThreshold() {
 			e.deltaFallbacks++
 			return e.RunAttack(d, m, dep, atk)
 		}
@@ -168,6 +207,11 @@ func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, at
 			installed = true
 		}
 		e.out.Dst, e.out.Attacker = d, m
+		// Capture the happy-source counts of prev (the installed base)
+		// before any entry is rewritten; the successful return updates
+		// them from the dirty region so chained walks never re-scan all
+		// n labels.
+		e.HappyBounds()
 		e.installDelta()
 		e.deltaDirty = e.dirtyList
 		for _, st := range e.plan.Stages {
@@ -193,7 +237,111 @@ func (e *Engine) RunDelta(prev *Outcome, added []asgraph.AS, dep *Deployment, at
 			}
 		}
 		if !grown {
+			// Emit the metric as a byproduct: adjust the happy-source
+			// counts by the dirty region's label changes. Pre-fixed ASes
+			// kept prev's labels exactly, and every changed AS is dirty
+			// (the fixpoint guarantee), so the adjustment is complete.
+			for _, v := range e.dirtyList {
+				plo, phi := happyContrib(e.prevOut.Label[v], v, d, m)
+				nlo, nhi := happyContrib(e.out.Label[v], v, d, m)
+				e.happyLo += nlo - plo
+				e.happyHi += nhi - phi
+			}
 			return &e.out
+		}
+	}
+}
+
+// overDeltaThreshold reports whether the dirty region has grown past
+// the adaptive fallback bound. The default bound is edge-volume based —
+// the summed degree of the dirty ASes against deltaFrac of the graph's
+// total adjacency volume — because stage work is proportional to the
+// edges incident to the dirty region, not to its vertex count: one
+// dirty Tier 1 costs thousands of stub-sized deltas. vertexFallback
+// restores the original n/4 vertex bound for A/B measurement.
+func (e *Engine) overDeltaThreshold() bool {
+	if e.vertexFallback {
+		return 4*len(e.dirtyList) >= e.g.N()
+	}
+	return float64(e.dirtyVol) >= e.deltaFrac*float64(e.totalVol)
+}
+
+// happyContrib is one AS's contribution to the happy-source bounds
+// (Outcome.HappyBounds), zero for the destination and the attacker.
+func happyContrib(lbl Label, v, d, m asgraph.AS) (lo, hi int) {
+	if v == d || v == m {
+		return 0, 0
+	}
+	switch lbl {
+	case LabelDest:
+		return 1, 1
+	case LabelAmbig:
+		return 0, 1
+	}
+	return 0, 0
+}
+
+// Secure reverse-reachability classification states (seedSecureReverse).
+const (
+	reachUnknown uint8 = iota
+	reachClean
+	reachAffected
+)
+
+// seedSecureReverse marks dirty every AS whose secure route in prev
+// runs through a removed AS or ends at a root whose origin security
+// dropped (e.secDrops). Secure routes form forests along Next pointers
+// — Secure[v] implies Secure[Next[v]] — so one memoized walk over the
+// secure region classifies every AS in O(n): each chain is followed
+// until it reaches an already-classified AS, a source, or its origin,
+// and the verdict is written back along the walked prefix. Correctness
+// never depends on this seed (the fixpoint check would grow the dirty
+// set to the same closure); it exists so a removal converges in one
+// pass instead of crawling the invalidation a hop per pass.
+func (e *Engine) seedSecureReverse(prev *Outcome, removed []asgraph.AS) {
+	n := len(prev.Class)
+	if e.reachState == nil {
+		e.reachState = make([]uint8, n)
+	}
+	st := e.reachState
+	for i := range st {
+		st[i] = reachUnknown
+	}
+	for _, v := range removed {
+		st[v] = reachAffected
+	}
+	for _, v := range e.secDrops {
+		st[v] = reachAffected
+	}
+	stack := e.reachStack[:0]
+	for v := 0; v < n; v++ {
+		if !prev.Secure[v] || st[v] != reachUnknown {
+			continue
+		}
+		u := asgraph.AS(v)
+		stack = stack[:0]
+		for st[u] == reachUnknown {
+			nx := prev.Next[u]
+			if nx == asgraph.None || !prev.Secure[nx] {
+				// A secure origin (or a defensive stop at an insecure
+				// hop, which the security invariant rules out) that is
+				// not itself a source: the chain survives.
+				st[u] = reachClean
+				break
+			}
+			stack = append(stack, u)
+			u = nx
+		}
+		verdict := st[u]
+		for _, w := range stack {
+			st[w] = verdict
+		}
+	}
+	e.reachStack = stack
+	for v := 0; v < n; v++ {
+		if st[v] == reachAffected && prev.Secure[v] {
+			e.markDirty(asgraph.AS(v))
+			e.markNeighborsDirty(asgraph.AS(v))
 		}
 	}
 }
@@ -212,11 +360,21 @@ func (e *Engine) resetDirty() {
 			Label:  make([]Label, n),
 			Next:   make([]asgraph.AS, n),
 		}
+		// Per-AS adjacency degrees and their total, the units of the
+		// edge-volume fallback bound (overDeltaThreshold).
+		e.deg = make([]int32, n)
+		for v := 0; v < n; v++ {
+			u := asgraph.AS(v)
+			d := len(e.g.Providers(u)) + len(e.g.Customers(u)) + len(e.g.Peers(u))
+			e.deg[v] = int32(d)
+			e.totalVol += int64(d)
+		}
 	}
 	for _, v := range e.dirtyList {
 		e.inDirty[v] = false
 	}
 	e.dirtyList = e.dirtyList[:0]
+	e.dirtyVol = 0
 }
 
 // markDirty adds v to the dirty set, reporting whether it was new. It
@@ -234,6 +392,7 @@ func (e *Engine) markDirty(v asgraph.AS) bool {
 	}
 	e.inDirty[v] = true
 	e.dirtyList = append(e.dirtyList, v)
+	e.dirtyVol += int64(e.deg[v])
 	p, po := e.deltaPrev, &e.prevOut
 	po.Class[v] = p.Class[v]
 	po.Len[v] = p.Len[v]
@@ -272,6 +431,9 @@ func (e *Engine) markNeighborsDirty(v asgraph.AS) bool {
 // entirely: the base is already in place, and per-AS snapshots taken
 // by markDirty carry the comparison values.
 func (e *Engine) installPrev(prev *Outcome) {
+	// The engine's cached happy counts (if any) described its previous
+	// outcome, not prev; force a recompute from the installed base.
+	e.happyValid = false
 	o := &e.out
 	copy(o.Class, prev.Class)
 	copy(o.Len, prev.Len)

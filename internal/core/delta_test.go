@@ -82,7 +82,7 @@ func TestRunDeltaMatchesFromScratch(t *testing.T) {
 							next.Full.Add(d)
 							added = append(added, d)
 						}
-						got := delta.RunDelta(prev, added, next, atk)
+						got := delta.RunDelta(prev, added, nil, next, atk)
 						want := scratch.RunAttack(d, m, next, atk)
 						if !outcomesEqual(got, want) {
 							t.Fatalf("%s %v %v attack %s step %d (d=%d m=%d, |added|=%d): RunDelta diverges from from-scratch run",
@@ -120,7 +120,7 @@ func TestRunDeltaExternalPrev(t *testing.T) {
 			// An unrelated run in between must not perturb the delta.
 			delta.Run(asgraph.AS(rng.Intn(n)), asgraph.None, nil)
 			next, added := growDeployment(g, dep, 1+rng.Intn(4), rng)
-			got := delta.RunDelta(prev, added, next, nil)
+			got := delta.RunDelta(prev, added, nil, next, nil)
 			want := scratch.Run(d, m, next)
 			if !outcomesEqual(got, want) {
 				t.Fatalf("%v step %d: RunDelta from external prev diverges", model, step)
@@ -149,14 +149,14 @@ func TestRunDeltaFallback(t *testing.T) {
 			added = append(added, asgraph.AS(v))
 		}
 		next := &Deployment{Full: full}
-		got := delta.RunDelta(prev, added, next, nil)
+		got := delta.RunDelta(prev, added, nil, next, nil)
 		want := scratch.Run(2, 7, next)
 		if !outcomesEqual(got, want) {
 			t.Fatalf("%v: fallback RunDelta diverges from from-scratch run", model)
 		}
 		// A subsequent small delta on the fallback result is exact too.
 		next2, added2 := growDeployment(g, next, 2, rand.New(rand.NewSource(1)))
-		got2 := delta.RunDelta(got, added2, next2, nil)
+		got2 := delta.RunDelta(got, added2, nil, next2, nil)
 		want2 := scratch.Run(2, 7, next2)
 		if !outcomesEqual(got2, want2) {
 			t.Fatalf("%v: post-fallback RunDelta diverges", model)
@@ -185,7 +185,7 @@ func TestRunDeltaNoStateLeak(t *testing.T) {
 		atk := attacks[rng.Intn(len(attacks))]
 		prev := e.RunAttack(d, m, dep, atk)
 		next, added := growDeployment(g, dep, 1+rng.Intn(3), rng)
-		got := e.RunDelta(prev, added, next, atk)
+		got := e.RunDelta(prev, added, nil, next, atk)
 		want := NewEngine(g, policy.Sec2nd).RunAttack(d, m, next, atk)
 		if !outcomesEqual(got, want) {
 			t.Fatalf("round %d: delta run diverges from a fresh engine", round)
@@ -251,7 +251,7 @@ func TestRunDeltaVanishedRoot(t *testing.T) {
 		// helper's root — far from the added set — must disappear from
 		// the delta run exactly as it does from a from-scratch run.
 		dep := &Deployment{Full: asgraph.SetOf(n, d)}
-		got := delta.RunDelta(prev, []asgraph.AS{d}, dep, atk)
+		got := delta.RunDelta(prev, []asgraph.AS{d}, nil, dep, atk)
 		want := scratch.RunAttack(d, m, dep, atk)
 		if !outcomesEqual(got, want) {
 			t.Fatalf("%v: RunDelta kept a vanished root (helper AS%d: class %v, want %v)",
@@ -264,7 +264,7 @@ func TestRunDeltaVanishedRoot(t *testing.T) {
 			other = asgraph.NonStubs(g)[6]
 		}
 		dep2 := &Deployment{Full: asgraph.SetOf(n, d, other)}
-		got2 := delta.RunDelta(got, []asgraph.AS{other}, dep2, atk)
+		got2 := delta.RunDelta(got, []asgraph.AS{other}, nil, dep2, atk)
 		want2 := scratch.RunAttack(d, m, dep2, atk)
 		if !outcomesEqual(got2, want2) {
 			t.Fatalf("%v: second delta step after a vanished root diverges", model)
@@ -327,7 +327,7 @@ func TestRunDeltaRevivedRoute(t *testing.T) {
 	}
 	// The chained (aliased-prev) call is the hardest case: snapshots are
 	// taken from the engine's own outcome as it is rewritten.
-	got := delta.RunDelta(prev, []asgraph.AS{a}, nextDep, NoAttack{})
+	got := delta.RunDelta(prev, []asgraph.AS{a}, nil, nextDep, NoAttack{})
 	want := scratch.RunAttack(d, asgraph.None, nextDep, NoAttack{})
 	if want.Class[z] != policy.ClassPeer {
 		t.Fatalf("fixture broken: z class %v from scratch, want the revived peer route", want.Class[z])
@@ -338,8 +338,9 @@ func TestRunDeltaRevivedRoute(t *testing.T) {
 	}
 }
 
-// TestDeploymentDelta covers the nested-superset detection and the
-// returned member delta.
+// TestDeploymentDelta covers the signed capability delta: the added
+// and removed lists for growing, shrinking, and mixed steps, including
+// the capability-neutral membership moves that must appear in neither.
 func TestDeploymentDelta(t *testing.T) {
 	mk := func(full, simplex []asgraph.AS) *Deployment {
 		return &Deployment{Full: asgraph.SetOf(64, full...), Simplex: asgraph.SetOf(64, simplex...)}
@@ -347,26 +348,245 @@ func TestDeploymentDelta(t *testing.T) {
 	small := mk([]asgraph.AS{1, 5}, []asgraph.AS{9})
 	big := mk([]asgraph.AS{1, 5, 7}, []asgraph.AS{9, 11})
 
-	added, nested := DeploymentDelta(small, big)
-	if !nested || len(added) != 2 || added[0] != 7 || added[1] != 11 {
-		t.Fatalf("DeploymentDelta(small, big) = (%v, %v), want ([7 11], true)", added, nested)
+	check := func(name string, prev, next *Deployment, wantAdd, wantRem []asgraph.AS) {
+		t.Helper()
+		added, removed := DeploymentDelta(prev, next)
+		eq := func(got, want []asgraph.AS) bool {
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if !eq(added, wantAdd) || !eq(removed, wantRem) {
+			t.Errorf("%s: DeploymentDelta = (%v, %v), want (%v, %v)", name, added, removed, wantAdd, wantRem)
+		}
 	}
-	if _, nested := DeploymentDelta(big, small); nested {
-		t.Error("shrinking deployment reported as nested")
-	}
-	if added, nested := DeploymentDelta(nil, small); !nested || len(added) != 3 {
-		t.Errorf("DeploymentDelta(nil, small) = (%v, %v), want all three members and true", added, nested)
-	}
-	if added, nested := DeploymentDelta(small, small); !nested || len(added) != 0 {
-		t.Errorf("DeploymentDelta(x, x) = (%v, %v), want ([], true)", added, nested)
-	}
-	if added, nested := DeploymentDelta(nil, nil); !nested || len(added) != 0 {
-		t.Errorf("DeploymentDelta(nil, nil) = (%v, %v), want ([], true)", added, nested)
-	}
-	// A simplex→full promotion is an addition on Full and keeps Simplex
-	// nested.
+	check("grow", small, big, []asgraph.AS{7, 11}, nil)
+	check("shrink", big, small, nil, []asgraph.AS{7, 11})
+	check("from-baseline", nil, small, []asgraph.AS{1, 5, 9}, nil)
+	check("to-baseline", small, nil, nil, []asgraph.AS{1, 5, 9})
+	check("equal", small, small, nil, nil)
+	check("both-nil", nil, nil, nil, nil)
+	// Incomparable deployments yield a remove-then-add step.
+	other := mk([]asgraph.AS{1, 8}, []asgraph.AS{12})
+	check("sideways", small, other, []asgraph.AS{8, 12}, []asgraph.AS{5, 9})
+	// A simplex→full promotion is a pure addition (origin capability is
+	// unchanged, validation is gained); a full→simplex demotion is the
+	// mirror pure removal.
 	promoted := mk([]asgraph.AS{1, 5, 9}, []asgraph.AS{9})
-	if added, nested := DeploymentDelta(small, promoted); !nested || len(added) != 1 || added[0] != 9 {
-		t.Errorf("promotion delta = (%v, %v), want ([9], true)", added, nested)
+	check("promotion", small, promoted, []asgraph.AS{9}, nil)
+	check("demotion", promoted, small, nil, []asgraph.AS{9})
+	// A Full member redundantly joining or leaving Simplex changes no
+	// capability at all.
+	redundant := mk([]asgraph.AS{1, 5}, []asgraph.AS{5, 9})
+	check("redundant-join", small, redundant, nil, nil)
+	check("redundant-leave", redundant, small, nil, nil)
+}
+
+// shrinkDeployment removes roughly k members (Full or Simplex) from
+// dep, returning the shrunk deployment and the removed capability list
+// RunDelta must be told about.
+func shrinkDeployment(dep *Deployment, k int, rng *rand.Rand) (*Deployment, []asgraph.AS) {
+	full, simplex := dep.Full.Clone(), dep.Simplex.Clone()
+	members := full.Members()
+	sx := simplex.Members()
+	var removed []asgraph.AS
+	for i := 0; i < k; i++ {
+		pick := rng.Intn(len(members) + len(sx))
+		if pick < len(members) {
+			v := members[pick]
+			if !full.Has(v) {
+				continue
+			}
+			full.Remove(v)
+			removed = append(removed, v)
+			if simplex.Has(v) {
+				// Still origin-capable: a demotion, not a union exit —
+				// the removal list entry stays (Full capability lost).
+				continue
+			}
+		} else {
+			v := sx[pick-len(members)]
+			if !simplex.Has(v) || full.Has(v) {
+				continue
+			}
+			simplex.Remove(v)
+			removed = append(removed, v)
+		}
+	}
+	return &Deployment{Full: full, Simplex: simplex}, removed
+}
+
+// TestRunDeltaRemovalMatchesFromScratch pins the removal-delta
+// contract: chained RunDelta along a series that grows AND shrinks —
+// including pure-shrink steps and mixed remove-then-add steps between
+// incomparable deployments — is field-for-field equal to a from-scratch
+// run at every step, for every security model, both local-preference
+// variants, and all four shipped attack seeders. The incrementally
+// maintained happy bounds must agree with a full label scan throughout.
+func TestRunDeltaRemovalMatchesFromScratch(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 600, Seed: 36})
+	n := g.N()
+	attacks := []Attack{nil, NoAttack{}, PathPadding{Hops: 3}, OriginSpoof{}}
+	for _, lp := range []policy.LocalPref{policy.Standard, policy.LP2} {
+		for _, model := range policy.Models {
+			rng := rand.New(rand.NewSource(100*int64(lp.K) + int64(model)))
+			delta := NewEngineLP(g, model, lp)
+			scratch := NewEngineLP(g, model, lp)
+			for _, atk := range attacks {
+				d := asgraph.AS(rng.Intn(n))
+				m := asgraph.AS(rng.Intn(n))
+				if m == d {
+					m = asgraph.None
+				}
+				// Start from a mid-sized deployment that includes the
+				// destination, so shrink steps can strip security off
+				// live secure routes (the reverse-reachability case).
+				dep, _ := growDeployment(g, nil, n/10, rng)
+				dep.Full.Add(d)
+				prev := delta.RunAttack(d, m, dep, atk)
+				for step := 0; step < 8; step++ {
+					var next *Deployment
+					var added, removed []asgraph.AS
+					switch step % 4 {
+					case 0, 2: // shrink
+						next, removed = shrinkDeployment(dep, 1+rng.Intn(6), rng)
+					case 1: // grow
+						next, added = growDeployment(g, dep, 1+rng.Intn(6), rng)
+					case 3: // sideways: remove some, add others
+						mid, rem := shrinkDeployment(dep, 1+rng.Intn(4), rng)
+						next, added = growDeployment(g, mid, 1+rng.Intn(4), rng)
+						removed = rem
+					}
+					got := delta.RunDelta(prev, added, removed, next, atk)
+					want := scratch.RunAttack(d, m, next, atk)
+					if !outcomesEqual(got, want) {
+						t.Fatalf("%v %v step %d (d=%d m=%d, +%d/-%d): removal RunDelta diverges from from-scratch run",
+							model, lp, step, d, m, len(added), len(removed))
+					}
+					lo, hi := delta.HappyBounds()
+					wlo, whi := want.HappyBounds()
+					if lo != wlo || hi != whi {
+						t.Fatalf("%v %v step %d: incremental happy bounds (%d,%d) diverge from scan (%d,%d)",
+							model, lp, step, lo, hi, wlo, whi)
+					}
+					prev, dep = got, next
+				}
+			}
+			if delta.deltaFallbacks == 8*len(attacks) {
+				t.Fatalf("%v %v: every removal RunDelta fell back; the incremental path was never exercised", model, lp)
+			}
+		}
+	}
+}
+
+// TestRunDeltaGrowThenShrink is the rollback regression: a chain that
+// grows a deployment for several steps and then walks it back down the
+// same slope, ending at the exact starting membership. Every step —
+// especially the first shrink after the peak, where the whole secure
+// overlay built by the grows starts tearing down — must equal the
+// from-scratch run, and the final outcome must equal the chain's first.
+func TestRunDeltaGrowThenShrink(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 500, Seed: 37})
+	n := g.N()
+	nonStubs := asgraph.NonStubs(g)
+	const d, m = 11, 23
+	for _, model := range policy.Models {
+		delta := NewEngine(g, model)
+		scratch := NewEngine(g, model)
+		base := &Deployment{Full: asgraph.SetOf(n, d)}
+		deps := []*Deployment{base}
+		for k := 1; k <= 6; k++ {
+			next := deps[len(deps)-1].Full.Clone()
+			next.Add(nonStubs[k])
+			next.Add(nonStubs[k+20])
+			deps = append(deps, &Deployment{Full: next})
+		}
+		// Up the slope, then back down to the start.
+		series := append([]*Deployment{}, deps...)
+		for k := len(deps) - 2; k >= 0; k-- {
+			series = append(series, deps[k])
+		}
+		prev := delta.RunAttack(d, m, series[0], nil)
+		first := prev.Clone()
+		for i := 1; i < len(series); i++ {
+			added, removed := DeploymentDelta(series[i-1], series[i])
+			got := delta.RunDelta(prev, added, removed, series[i], nil)
+			want := scratch.RunAttack(d, m, series[i], nil)
+			if !outcomesEqual(got, want) {
+				t.Fatalf("%v: grow-then-shrink chain diverges at step %d (+%d/-%d)",
+					model, i, len(added), len(removed))
+			}
+			prev = got
+		}
+		if !outcomesEqual(prev, first) {
+			t.Fatalf("%v: walking the chain back down did not restore the initial outcome", model)
+		}
+		if delta.deltaFallbacks == len(series)-1 {
+			t.Fatalf("%v: every grow-then-shrink step fell back to from-scratch", model)
+		}
+	}
+}
+
+// TestRunDeltaHappyBoundsChained: Engine.HappyBounds equals the O(n)
+// label scan at every step of a growing chain (the sweep scheduler
+// reads the incremental counts instead of re-scanning).
+func TestRunDeltaHappyBoundsChained(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 400, Seed: 38})
+	n := g.N()
+	rng := rand.New(rand.NewSource(21))
+	e := NewEngine(g, policy.Sec3rd)
+	dep, _ := growDeployment(g, nil, n/20, rng)
+	prev := e.RunAttack(3, 9, dep, nil)
+	for step := 0; step < 6; step++ {
+		lo, hi := e.HappyBounds()
+		wlo, whi := prev.HappyBounds()
+		if lo != wlo || hi != whi {
+			t.Fatalf("step %d: HappyBounds (%d,%d) != scan (%d,%d)", step, lo, hi, wlo, whi)
+		}
+		next, added := growDeployment(g, dep, 1+rng.Intn(4), rng)
+		prev = e.RunDelta(prev, added, nil, next, nil)
+		dep = next
+	}
+}
+
+// TestWithDeltaThreshold: a zero threshold disables the incremental
+// path (every call falls back, still exact); a threshold of 1 keeps
+// even a huge delta incremental; results match from-scratch either way.
+func TestWithDeltaThreshold(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 300, Seed: 39})
+	n := g.N()
+	scratch := NewEngine(g, policy.Sec2nd)
+	big := asgraph.NewSet(n)
+	var added []asgraph.AS
+	for v := 0; v < n; v += 2 {
+		big.Add(asgraph.AS(v))
+		added = append(added, asgraph.AS(v))
+	}
+	next := &Deployment{Full: big}
+	want := scratch.Run(4, 9, next)
+
+	off := NewEngine(g, policy.Sec2nd, WithDeltaThreshold(0))
+	prev := off.Run(4, 9, nil)
+	if got := off.RunDelta(prev, []asgraph.AS{2}, nil, &Deployment{Full: asgraph.SetOf(n, 2)}, nil); got == nil {
+		t.Fatal("nil outcome")
+	}
+	if off.deltaFallbacks != 1 {
+		t.Fatalf("threshold 0: %d fallbacks, want 1 (incremental path disabled)", off.deltaFallbacks)
+	}
+
+	wide := NewEngine(g, policy.Sec2nd, WithDeltaThreshold(1))
+	prev = wide.Run(4, 9, nil)
+	got := wide.RunDelta(prev, added, nil, next, nil)
+	if !outcomesEqual(got, want) {
+		t.Fatal("threshold 1: oversized delta diverges from from-scratch run")
+	}
+	if wide.deltaFallbacks != 0 {
+		t.Fatalf("threshold 1: %d fallbacks, want 0", wide.deltaFallbacks)
 	}
 }

@@ -67,6 +67,33 @@ type Engine struct {
 	// threshold and re-ran from scratch (tests assert the incremental
 	// path actually runs).
 	deltaFallbacks int
+
+	// Delta-fallback threshold state. The bound is edge-volume based:
+	// dirtyVol accumulates the adjacency degree of every dirty AS, and
+	// RunDelta falls back to the from-scratch run once it reaches
+	// deltaFrac of the graph's total adjacency volume (deg/totalVol are
+	// built lazily alongside inDirty). vertexFallback restores the old
+	// n/4 vertex-count bound — kept for the threshold-comparison
+	// benchmark, not as API.
+	deltaFrac      float64
+	vertexFallback bool
+	deg            []int32
+	totalVol       int64
+	dirtyVol       int64
+
+	// Removal-delta scratch: the memoized secure reverse-reachability
+	// classification and its walk stack (see seedSecureReverse).
+	reachState []uint8
+	reachStack []asgraph.AS
+	secDrops   []asgraph.AS
+
+	// Incrementally maintained happy-source bounds of the current
+	// outcome: RunDelta updates them from its dirty region, so chained
+	// walks read the per-step metric without an O(n) label re-scan.
+	// happyValid is cleared by every from-scratch run and recomputed
+	// lazily by Engine.HappyBounds.
+	happyValid       bool
+	happyLo, happyHi int
 }
 
 // offerAcc is the per-AS candidate accumulator for one stage. The
@@ -111,6 +138,34 @@ func WithFullClearReset() Option {
 	return func(e *Engine) { e.fullClear = true }
 }
 
+// DefaultDeltaThreshold is the fraction of the graph's total adjacency
+// volume at which RunDelta abandons the incremental path and re-runs
+// from scratch. The bound is edge-based rather than vertex-based: a
+// dirty region is charged the sum of its members' degrees, so a
+// handful of dirty Tier 1s (which touch a large share of all edges) is
+// judged by the edges it actually costs while thousands of dirty stubs
+// stay incremental. The fraction is high because a delta run's
+// advantage is not only the skipped edge work: pre-fixed entries also
+// skip the per-stage seeding scans and queue traffic, so measured
+// break-even sits near full volume — on the committed rollout series a
+// delta at 57% of total volume still beats the from-scratch run
+// (see BenchmarkRolloutSeries / BenchmarkDeltaThreshold).
+const DefaultDeltaThreshold = 0.75
+
+// WithDeltaThreshold sets the delta-fallback bound: RunDelta re-runs
+// from scratch once the dirty region's adjacency volume (the sum of the
+// dirty ASes' degrees) reaches frac of the graph's total adjacency
+// volume. The default is DefaultDeltaThreshold. Values above 1 are
+// clamped to 1 (never fall back on volume grounds); frac <= 0 disables
+// the incremental path entirely — every RunDelta call becomes a
+// from-scratch run, still returning exact results.
+func WithDeltaThreshold(frac float64) Option {
+	if frac > 1 {
+		frac = 1
+	}
+	return func(e *Engine) { e.deltaFrac = frac }
+}
+
 // NewEngine returns an engine for the given graph and security model
 // under the standard local-preference policy.
 func NewEngine(g *asgraph.Graph, m policy.Model, opts ...Option) *Engine {
@@ -131,8 +186,9 @@ func NewEngineLP(g *asgraph.Graph, m policy.Model, lp policy.LocalPref, opts ...
 			Label:  make([]Label, n),
 			Next:   make([]asgraph.AS, n),
 		},
-		inTouch: make([]bool, n),
-		off:     make([]offerAcc, n),
+		inTouch:   make([]bool, n),
+		off:       make([]offerAcc, n),
+		deltaFrac: DefaultDeltaThreshold,
 	}
 	for _, o := range opts {
 		o(e)
@@ -143,6 +199,21 @@ func NewEngineLP(g *asgraph.Graph, m policy.Model, lp policy.LocalPref, opts ...
 
 // Graph returns the engine's topology.
 func (e *Engine) Graph() *asgraph.Graph { return e.g }
+
+// HappyBounds returns the happy-source bounds of the engine's current
+// outcome — the same numbers as Outcome.HappyBounds on it, but
+// maintained incrementally: a successful RunDelta adjusts the counts
+// from its dirty region in O(dirty) instead of re-scanning every label,
+// so long delta chains read their per-step metric essentially for free.
+// After a from-scratch run the counts are recomputed lazily on first
+// call.
+func (e *Engine) HappyBounds() (lo, hi int) {
+	if !e.happyValid {
+		e.happyLo, e.happyHi = e.out.HappyBounds()
+		e.happyValid = true
+	}
+	return e.happyLo, e.happyHi
+}
 
 // Model returns the engine's security model.
 func (e *Engine) Model() policy.Model { return e.plan.Model }
@@ -176,6 +247,7 @@ func (e *Engine) RunAttack(d, m asgraph.AS, dep *Deployment, atk Attack) *Outcom
 	}
 	o := &e.out
 	o.Dst, o.Attacker = d, m
+	e.happyValid = false
 	if e.fullClear {
 		e.resetAll()
 	} else {

@@ -87,9 +87,69 @@ func BenchmarkEngineRunDelta(b *testing.B) {
 				prev = e.Run(d, m, deps[0])
 				b.StartTimer()
 			}
-			prev = e.RunDelta(prev, added[k], deps[k], nil)
+			prev = e.RunDelta(prev, added[k], nil, deps[k], nil)
 		}
 	})
+}
+
+// BenchmarkDeltaThreshold compares the two delta-fallback bounds on the
+// workload the bound exists for: a one-stub-at-a-time rollout, the
+// finest-grained chain the paper's figures imply. Securing one stub
+// dirties only the stub and its providers, so the delta should stay
+// incremental at every step; the edge-volume bound (default) charges
+// the dirty region by its adjacency size, while the legacy vertex-count
+// bound can misjudge regions whose few members carry most of the
+// graph's edges (and, conversely, fall back on thousands of cheap
+// stubs).
+func BenchmarkDeltaThreshold(b *testing.B) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 4000, Seed: 1})
+	n := g.N()
+	var stubs []asgraph.AS
+	for v := 0; v < n; v++ {
+		if g.IsAnyStub(asgraph.AS(v)) {
+			stubs = append(stubs, asgraph.AS(v))
+		}
+	}
+	const chainLen = 256
+	if len(stubs) < chainLen {
+		b.Fatalf("fixture has only %d stubs", len(stubs))
+	}
+	deps := make([]*Deployment, chainLen)
+	added := make([][]asgraph.AS, chainLen)
+	full := asgraph.NewSet(n)
+	for i := 0; i < chainLen; i++ {
+		full.Add(stubs[i])
+		added[i] = []asgraph.AS{stubs[i]}
+		deps[i] = &Deployment{Full: full.Clone()}
+	}
+	d, m := asgraph.AS(17), asgraph.NonStubs(g)[0]
+	for _, bc := range []struct {
+		name   string
+		vertex bool
+	}{
+		{"edge-volume", false},
+		{"vertex-count", true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			e := NewEngine(g, policy.Sec2nd)
+			e.vertexFallback = bc.vertex
+			prev := e.Run(d, m, deps[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i%(chainLen-1) + 1
+				if k == 1 {
+					b.StopTimer()
+					prev = e.Run(d, m, deps[0])
+					b.StartTimer()
+				}
+				prev = e.RunDelta(prev, added[k], nil, deps[k], nil)
+			}
+			if e.deltaFallbacks > 0 {
+				b.Logf("%d of %d delta steps fell back", e.deltaFallbacks, b.N)
+			}
+		})
+	}
 }
 
 // BenchmarkEngineRunSparse measures runs that touch only a small part of

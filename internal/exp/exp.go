@@ -58,10 +58,13 @@ type Workload struct {
 	// ignore it.
 	Attack core.Attack
 
-	// Incremental makes the metric grids use deployment-ordered
-	// scheduling with Engine.RunDelta reuse across nested deployments
-	// (identical results, faster rollout-shaped experiments).
-	Incremental bool
+	// Incremental is the metric grids' scheduling mode. The zero value
+	// (sweep.IncrementalAuto) uses chain-major scheduling with
+	// Engine.RunDelta reuse across nested deployments whenever the
+	// grid's deployment axis chains — identical results, faster
+	// rollout-shaped experiments; sweep.IncrementalOff restores the
+	// legacy from-scratch order.
+	Incremental sweep.IncrementalMode
 
 	Workers int
 }
@@ -81,9 +84,9 @@ type Config struct {
 	MaxD       int         // destination sample size (default 32)
 	MaxPerDest int         // per-destination series sample (default 200)
 	Attack     core.Attack // threat model (nil = one-hop hijack)
-	// Incremental enables delta reuse across nested deployments in the
-	// metric grids (see Workload.Incremental).
-	Incremental bool
+	// Incremental is the metric grids' scheduling mode (see
+	// Workload.Incremental); the zero value is incremental-by-default.
+	Incremental sweep.IncrementalMode
 	Workers     int // 0 = GOMAXPROCS
 
 	// FullEnumeration replaces the MaxM/MaxD sampling with the paper's

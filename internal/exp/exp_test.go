@@ -212,9 +212,12 @@ func TestFullEnumerationWorkload(t *testing.T) {
 // per-destination delta series — produces identical numbers with
 // Config.Incremental set, while actually exercising the delta path.
 func TestIncrementalWorkloadEquality(t *testing.T) {
+	// The default mode is incremental, so the legacy order is now the
+	// explicit opt-out side of the comparison.
 	cfg := Config{N: 600, Seed: 1, MaxM: 8, MaxD: 10, MaxPerDest: 20}
+	cfg.Incremental = sweep.IncrementalOff
 	plain := NewWorkload(cfg)
-	cfg.Incremental = true
+	cfg.Incremental = sweep.IncrementalOn
 	inc := NewWorkload(cfg)
 
 	var wantGrid, gotGrid bytes.Buffer

@@ -62,7 +62,11 @@ func buildChainPlan(deps []Deployment) *chainPlan {
 		for ci := range p.chains {
 			tail := p.chains[ci][len(p.chains[ci])-1].si
 			if sz := size(deps[tail].Dep); sz > bestSize {
-				if added, nested := core.DeploymentDelta(deps[tail].Dep, deps[si].Dep); nested {
+				// Nested exactly when nothing is removed: the planner
+				// emits only chains whose every step is a superset of
+				// the one before (pinned by the nestedness property
+				// test), so the walk never needs removal deltas.
+				if added, removed := core.DeploymentDelta(deps[tail].Dep, deps[si].Dep); len(removed) == 0 {
 					best, bestSize, bestAdded = ci, sz, added
 				}
 			}
@@ -76,18 +80,4 @@ func buildChainPlan(deps []Deployment) *chainPlan {
 		}
 	}
 	return p
-}
-
-// addedBetween returns the cumulative member delta across the chain's
-// steps (from, to], for delta runs that skip intermediate steps (e.g.
-// when a shard holds only part of a chain).
-func addedBetween(ch []chainStep, from, to int) []asgraph.AS {
-	if to == from+1 {
-		return ch[to].added
-	}
-	var added []asgraph.AS
-	for p := from + 1; p <= to; p++ {
-		added = append(added, ch[p].added...)
-	}
-	return added
 }

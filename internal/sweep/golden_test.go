@@ -109,28 +109,41 @@ func TestGoldenSweepJSON(t *testing.T) {
 				t.Errorf("sharded sweep JSON diverges from golden %s", path)
 			}
 
-			// The incremental scheduler — flat and sharded — must too,
-			// even on this partially-nested deployment axis.
-			for _, w := range []int{1, workers} {
-				igr := goldenGrid(g, w, tc.attack)
-				igr.Incremental = true
-				var flat bytes.Buffer
-				if err := igr.MustEvaluate(g).WriteJSON(&flat); err != nil {
-					t.Fatal(err)
-				}
-				if !bytes.Equal(flat.Bytes(), want) {
-					t.Errorf("incremental sweep JSON (workers=%d) diverges from golden %s", w, path)
-				}
-				ires, err := igr.EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: 37})
-				if err != nil {
-					t.Fatal(err)
-				}
-				var ish bytes.Buffer
-				if err := ires.WriteJSON(&ish); err != nil {
-					t.Fatal(err)
-				}
-				if !bytes.Equal(ish.Bytes(), want) {
-					t.Errorf("incremental sharded sweep JSON (workers=%d) diverges from golden %s", w, path)
+			// Every scheduling mode must land on the same bytes — the
+			// defaults above already run chain-major (incremental is the
+			// default and this axis nests baseline under the others), so
+			// this pins the explicit override spellings and the legacy
+			// order, flat and sharded, across worker counts and shard
+			// sizes.
+			workerCounts := []int{1, 4, workers}
+			sizes := []int{1, 7, 64}
+			if raceEnabled {
+				workerCounts, sizes = []int{4}, []int{7}
+			}
+			for _, mode := range []IncrementalMode{IncrementalOn, IncrementalOff} {
+				for _, w := range workerCounts {
+					igr := goldenGrid(g, w, tc.attack)
+					igr.Incremental = mode
+					var flat bytes.Buffer
+					if err := igr.MustEvaluate(g).WriteJSON(&flat); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(flat.Bytes(), want) {
+						t.Errorf("incremental=%v sweep JSON (workers=%d) diverges from golden %s", mode, w, path)
+					}
+					for _, size := range sizes {
+						ires, err := igr.EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: size})
+						if err != nil {
+							t.Fatal(err)
+						}
+						var ish bytes.Buffer
+						if err := ires.WriteJSON(&ish); err != nil {
+							t.Fatal(err)
+						}
+						if !bytes.Equal(ish.Bytes(), want) {
+							t.Errorf("incremental=%v sharded sweep JSON (workers=%d, shard=%d) diverges from golden %s", mode, w, size, path)
+						}
+					}
 				}
 			}
 		})
@@ -141,7 +154,7 @@ func TestGoldenSweepJSON(t *testing.T) {
 // deployments (growing non-stub prefixes plus their stub customers)
 // and a second chain of simplex variants, the shape the incremental
 // scheduler is built for.
-func nestedGrid(g *asgraph.Graph, workers int, incremental bool) *Grid {
+func nestedGrid(g *asgraph.Graph, workers int, mode IncrementalMode) *Grid {
 	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 6, 8)
 	nonStubs := asgraph.NonStubs(g)
 	deployments := []Deployment{{Name: "baseline"}}
@@ -165,7 +178,7 @@ func nestedGrid(g *asgraph.Graph, workers int, incremental bool) *Grid {
 		Attackers:    M,
 		Destinations: D,
 		PerDest:      true,
-		Incremental:  incremental,
+		Incremental:  mode,
 		Workers:      workers,
 	}
 }
@@ -179,7 +192,7 @@ func TestGoldenNestedDeployments(t *testing.T) {
 	path := filepath.Join("testdata", "golden_nested.json")
 
 	var serial bytes.Buffer
-	if err := nestedGrid(g, 1, false).MustEvaluate(g).WriteJSON(&serial); err != nil {
+	if err := nestedGrid(g, 1, IncrementalOff).MustEvaluate(g).WriteJSON(&serial); err != nil {
 		t.Fatal(err)
 	}
 	if *update {
@@ -195,13 +208,19 @@ func TestGoldenNestedDeployments(t *testing.T) {
 		t.Errorf("non-incremental nested grid diverges from golden:\n--- got ---\n%s", serial.String())
 	}
 
-	workerCounts := []int{1, 4}
-	sizes := []int{5, 64, 100000}
+	gomax := runtime.GOMAXPROCS(0)
+	workerCounts := []int{1, 4, gomax}
+	sizes := []int{1, 7, 64, 100000}
 	if raceEnabled {
-		workerCounts, sizes = []int{4}, []int{64}
+		workerCounts, sizes = []int{4}, []int{7, 64}
 	}
 	for _, w := range workerCounts {
-		igr := nestedGrid(g, w, true)
+		// The default mode is incremental: the chain-major scheduler
+		// must reproduce the (non-incremental) golden authority byte
+		// for byte — flat, and sharded at every size, where shard
+		// size 1 cuts every chain at every step and exercises the
+		// cross-shard tail handoff maximally.
+		igr := nestedGrid(g, w, IncrementalAuto)
 		var flat bytes.Buffer
 		if err := igr.MustEvaluate(g).WriteJSON(&flat); err != nil {
 			t.Fatal(err)
@@ -210,7 +229,7 @@ func TestGoldenNestedDeployments(t *testing.T) {
 			t.Errorf("incremental nested grid (workers=%d) diverges from golden", w)
 		}
 		for _, size := range sizes {
-			res, err := nestedGrid(g, w, true).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: size})
+			res, err := nestedGrid(g, w, IncrementalAuto).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: size})
 			if err != nil {
 				t.Fatal(err)
 			}

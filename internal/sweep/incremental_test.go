@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
+	"math/rand"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
@@ -62,11 +64,6 @@ func TestChainPlan(t *testing.T) {
 	if len(s1.added) != 2 || s1.added[0] != 3 || s1.added[1] != 12 {
 		t.Errorf("s1 chain step added = %v, want [3 12]", s1.added)
 	}
-	// addedBetween across a skipped step accumulates both deltas.
-	between := addedBetween(p.chains[0], 0, 2)
-	if len(between) != 6 {
-		t.Errorf("addedBetween(baseline → s1) = %v, want all six members", between)
-	}
 
 	// A subset-first axis (the SecureDestDeltas shape, declared superset
 	// first) still chains: declaration order does not matter.
@@ -79,6 +76,178 @@ func TestChainPlan(t *testing.T) {
 	p3 := buildChainPlan([]Deployment{{Name: "a", Dep: dep(1)}, {Name: "b", Dep: dep(2)}})
 	if len(p3.chains) != 2 {
 		t.Errorf("incomparable axis built %d chains, want 2", len(p3.chains))
+	}
+}
+
+// checkChainPlanInvariants asserts the planner's structural contract on
+// an arbitrary axis: every deployment appears in exactly one chain, the
+// chainOf/posOf inverse maps agree, every chain is nested (each step a
+// capability superset of the one before, with added equal to the exact
+// signed delta and nothing removed), and heads carry no delta.
+func checkChainPlanInvariants(t *testing.T, deps []Deployment, p *chainPlan) {
+	t.Helper()
+	seen := make([]bool, len(deps))
+	for ci, ch := range p.chains {
+		if len(ch) == 0 {
+			t.Fatalf("chain %d is empty", ci)
+		}
+		if len(ch[0].added) != 0 {
+			t.Errorf("chain %d head carries a delta: %v", ci, ch[0].added)
+		}
+		for pos, step := range ch {
+			if step.si < 0 || step.si >= len(deps) {
+				t.Fatalf("chain %d step %d: si %d out of range", ci, pos, step.si)
+			}
+			if seen[step.si] {
+				t.Fatalf("deployment %q appears in more than one chain position", deps[step.si].Name)
+			}
+			seen[step.si] = true
+			if p.chainOf[step.si] != ci || p.posOf[step.si] != pos {
+				t.Errorf("chainOf/posOf inverse maps disagree for %q", deps[step.si].Name)
+			}
+			if pos == 0 {
+				continue
+			}
+			added, removed := core.DeploymentDelta(deps[ch[pos-1].si].Dep, deps[step.si].Dep)
+			if len(removed) != 0 {
+				t.Errorf("chain %d is not nested at %q → %q: removed %v",
+					ci, deps[ch[pos-1].si].Name, deps[step.si].Name, removed)
+			}
+			if len(added) != len(step.added) {
+				t.Errorf("chain %d step %q: recorded delta %v, want %v", ci, deps[step.si].Name, step.added, added)
+				continue
+			}
+			for i := range added {
+				if added[i] != step.added[i] {
+					t.Errorf("chain %d step %q: recorded delta %v, want %v", ci, deps[step.si].Name, step.added, added)
+					break
+				}
+			}
+		}
+	}
+	for si, ok := range seen {
+		if !ok {
+			t.Errorf("deployment %q missing from every chain", deps[si].Name)
+		}
+	}
+}
+
+// TestChainPlanEdgeCases covers the axis shapes that historically broke
+// schedulers: duplicated memberships under distinct names, the
+// baseline-only and empty axes, and equal-membership deployments.
+func TestChainPlanEdgeCases(t *testing.T) {
+	dep := func(full ...asgraph.AS) *core.Deployment {
+		return &core.Deployment{Full: asgraph.SetOf(64, full...)}
+	}
+
+	t.Run("empty-axis", func(t *testing.T) {
+		p := buildChainPlan(nil)
+		if len(p.chains) != 0 {
+			t.Fatalf("empty axis built %d chains", len(p.chains))
+		}
+	})
+
+	t.Run("baseline-only", func(t *testing.T) {
+		deps := []Deployment{{Name: "baseline"}}
+		p := buildChainPlan(deps)
+		if len(p.chains) != 1 || len(p.chains[0]) != 1 || p.chains[0][0].si != 0 {
+			t.Fatalf("baseline-only axis: chains = %+v, want one singleton", p.chains)
+		}
+		checkChainPlanInvariants(t, deps, p)
+	})
+
+	t.Run("duplicate-memberships", func(t *testing.T) {
+		// Same member set under different names (and via distinct Set
+		// values): each pair must chain with an empty delta, and every
+		// deployment still lands in exactly one chain slot.
+		deps := []Deployment{
+			{Name: "a", Dep: dep(1, 2, 3)},
+			{Name: "a-copy", Dep: dep(1, 2, 3)},
+			{Name: "bigger", Dep: dep(1, 2, 3, 4)},
+			{Name: "bigger-copy", Dep: dep(1, 2, 3, 4)},
+		}
+		p := buildChainPlan(deps)
+		if len(p.chains) != 1 {
+			t.Fatalf("duplicate-membership axis built %d chains, want 1", len(p.chains))
+		}
+		for pos, step := range p.chains[0][1:] {
+			if deps[step.si].Name == "bigger" && len(step.added) != 1 {
+				t.Errorf("step %d (%q): added = %v, want the single gained member", pos+1, deps[step.si].Name, step.added)
+			}
+			if deps[step.si].Name == "a-copy" && len(step.added) != 0 {
+				t.Errorf("equal-membership step carries a delta: %v", step.added)
+			}
+		}
+		checkChainPlanInvariants(t, deps, p)
+	})
+
+	t.Run("baseline-duplicates", func(t *testing.T) {
+		// nil and empty-set deployments are equal-capability too.
+		deps := []Deployment{
+			{Name: "nil-baseline"},
+			{Name: "empty-set", Dep: &core.Deployment{Full: asgraph.NewSet(64)}},
+			{Name: "one", Dep: dep(5)},
+		}
+		p := buildChainPlan(deps)
+		if len(p.chains) != 1 || len(p.chains[0]) != 3 {
+			t.Fatalf("nil/empty baseline axis: chains = %+v, want one 3-chain", p.chains)
+		}
+		checkChainPlanInvariants(t, deps, p)
+	})
+}
+
+// TestChainPlanNestedProperty is the planner's property test: on
+// randomized axes — mixing nested prefixes, simplex variants,
+// duplicates, and incomparable sets — every chain the planner emits is
+// nested, every deployment is covered exactly once, and the recorded
+// per-step deltas are exact.
+func TestChainPlanNestedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const n = 128
+	for trial := 0; trial < 200; trial++ {
+		nDeps := 1 + rng.Intn(9)
+		deps := make([]Deployment, nDeps)
+		// Grow a few independent membership lineages; each deployment
+		// either extends a random previous one (nesting), duplicates
+		// it, or starts fresh (incomparable).
+		for i := range deps {
+			full, simplex := asgraph.NewSet(n), asgraph.NewSet(n)
+			switch {
+			case i > 0 && rng.Intn(3) == 0: // duplicate
+				src := deps[rng.Intn(i)].Dep
+				if src != nil {
+					full, simplex = src.Full.Clone(), src.Simplex.Clone()
+				}
+			case i > 0 && rng.Intn(2) == 0: // extend
+				src := deps[rng.Intn(i)].Dep
+				if src != nil {
+					full, simplex = src.Full.Clone(), src.Simplex.Clone()
+				}
+				for k := 0; k < 1+rng.Intn(5); k++ {
+					v := asgraph.AS(rng.Intn(n))
+					if rng.Intn(4) == 0 {
+						simplex.Add(v)
+					} else {
+						full.Add(v)
+					}
+				}
+			default: // fresh
+				for k := 0; k < rng.Intn(8); k++ {
+					full.Add(asgraph.AS(rng.Intn(n)))
+				}
+			}
+			deps[i] = Deployment{
+				Name: fmt.Sprintf("d%d", i),
+				Dep:  &core.Deployment{Full: full, Simplex: simplex},
+			}
+			if rng.Intn(8) == 0 {
+				deps[i].Dep = nil // the occasional baseline
+			}
+		}
+		checkChainPlanInvariants(t, deps, buildChainPlan(deps))
+		if t.Failed() {
+			t.Fatalf("trial %d failed with axis %+v", trial, deps)
+		}
 	}
 }
 
@@ -101,7 +270,7 @@ func TestIncrementalEquivalenceMixedChains(t *testing.T) {
 			low.Add(asgraph.AS(v))
 		}
 	}
-	grid := func(incremental bool) *Grid {
+	grid := func(mode IncrementalMode) *Grid {
 		return &Grid{
 			Deployments: []Deployment{
 				{Name: "baseline"},
@@ -113,31 +282,33 @@ func TestIncrementalEquivalenceMixedChains(t *testing.T) {
 			Attackers:    M,
 			Destinations: D,
 			PerDest:      true,
-			Incremental:  incremental,
+			Incremental:  mode,
 			Workers:      4,
 		}
 	}
 	var want bytes.Buffer
-	if err := grid(false).MustEvaluate(g).WriteJSON(&want); err != nil {
+	if err := grid(IncrementalOff).MustEvaluate(g).WriteJSON(&want); err != nil {
 		t.Fatal(err)
 	}
-	var flat bytes.Buffer
-	if err := grid(true).MustEvaluate(g).WriteJSON(&flat); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(flat.Bytes(), want.Bytes()) {
-		t.Error("incremental evaluation diverges on the mixed axis")
-	}
-	res, err := grid(true).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: 11})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var sharded bytes.Buffer
-	if err := res.WriteJSON(&sharded); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(sharded.Bytes(), want.Bytes()) {
-		t.Error("incremental sharded evaluation diverges on the mixed axis")
+	for _, mode := range []IncrementalMode{IncrementalAuto, IncrementalOn} {
+		var flat bytes.Buffer
+		if err := grid(mode).MustEvaluate(g).WriteJSON(&flat); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(flat.Bytes(), want.Bytes()) {
+			t.Errorf("incremental=%v evaluation diverges on the mixed axis", mode)
+		}
+		res, err := grid(mode).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sharded bytes.Buffer
+		if err := res.WriteJSON(&sharded); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sharded.Bytes(), want.Bytes()) {
+			t.Errorf("incremental=%v sharded evaluation diverges on the mixed axis", mode)
+		}
 	}
 }
 
@@ -151,7 +322,7 @@ func TestShardedCancelSinkNeverObservesLatePartial(t *testing.T) {
 	g, _ := topogen.MustGenerate(topogen.Params{N: 250, Seed: 13})
 	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 10, 20)
 	nested := asgraph.SetOf(g.N(), asgraph.NonStubs(g)...)
-	for _, incremental := range []bool{false, true} {
+	for _, incremental := range []IncrementalMode{IncrementalOff, IncrementalAuto} {
 		grid := func() *Grid {
 			return &Grid{
 				Deployments: []Deployment{

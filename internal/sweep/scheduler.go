@@ -1,0 +1,264 @@
+package sweep
+
+// The unified chain-major scheduler. Both evaluators — the flat
+// EvaluateContext and the sharded EvaluateSharded — used to carry their
+// own copy of the chain-walk logic, and the sharded copy cut shards on
+// the raw (deployment-outermost) cell order, so a nested-deployment
+// chain crossing a shard boundary re-ran its head from scratch in every
+// shard it touched. This file replaces both walks with one:
+//
+//   - A schedule is a permutation of the flattened (deployment × model
+//     × destination × attacker) cell space. Incremental grids order it
+//     chain-major: chains outermost, then (model, destination,
+//     attacker) groups, then chain position — so the cells a RunDelta
+//     chain visits are *contiguous*. Shards are cut on the scheduled
+//     order, which means a chain now straddles at most one boundary per
+//     shard instead of scattering one cell into every shard.
+//   - Non-incremental grids (and incremental grids whose deployment
+//     axis yields no chain longer than one — incomparable axes degrade
+//     here) keep the identity schedule: the exact cell order, shard
+//     layout, and checkpoint fingerprint of the previous releases.
+//   - evaluateRange walks any scheduled range, emitting one exact
+//     integer (task, lo, hi) triple per valid cell. Partials stay
+//     positional, so results remain byte-identical to the unscheduled
+//     evaluation at every worker count and shard size.
+//   - Where a shard boundary does split a chain, the finishing worker
+//     offers the chain's tail fixed point to a handoff table and the
+//     worker that picks up the continuation resumes with RunDelta
+//     instead of re-running the head — opportunistically: if the
+//     continuation is evaluated first, it simply runs its own head from
+//     scratch, with identical results either way.
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+)
+
+// schedule maps scheduled cell positions onto the grid's cell space. A
+// nil plan is the identity schedule.
+type schedule struct {
+	ax   *axes
+	plan *chainPlan
+	// blockStart[ci] is the scheduled offset of chain ci's block;
+	// blockStart[len(chains)] == ax.cells. Chain-major only.
+	blockStart []int
+}
+
+// newSchedule plans the grid's cell order: chain-major when the grid is
+// incremental (IncrementalAuto or IncrementalOn) and the deployment
+// axis actually chains, the identity order otherwise. The degradation
+// to identity is what keeps incomparable axes — and every
+// non-incremental grid — on the exact pre-scheduler shard layout and
+// checkpoint fingerprint.
+func newSchedule(gr *Grid, ax *axes) *schedule {
+	s := &schedule{ax: ax}
+	if !gr.Incremental.enabled() {
+		return s
+	}
+	plan := buildChainPlan(ax.deps)
+	chained := false
+	for _, ch := range plan.chains {
+		if len(ch) > 1 {
+			chained = true
+			break
+		}
+	}
+	if !chained {
+		return s
+	}
+	s.plan = plan
+	s.blockStart = make([]int, len(plan.chains)+1)
+	for ci, ch := range plan.chains {
+		s.blockStart[ci+1] = s.blockStart[ci] + len(ch)*ax.nm*ax.nd*ax.na
+	}
+	return s
+}
+
+// identity reports whether the scheduled order equals the raw cell
+// order (shard layouts and fingerprints are interchangeable with the
+// pre-scheduler ones exactly when this holds).
+func (s *schedule) identity() bool { return s.plan == nil }
+
+// chainAt returns the chain whose block holds scheduled position p.
+func (s *schedule) chainAt(p int) int {
+	return sort.SearchInts(s.blockStart[1:], p+1)
+}
+
+// numRanges returns how many dispatch units the flat evaluator splits
+// the schedule into: one per (deployment, model, destination) task on
+// the identity schedule — the historical granularity — and one per
+// (chain, model, destination) walk on a chain-major schedule, so every
+// RunDelta chain stays within a single worker.
+func (s *schedule) numRanges() int {
+	if s.plan == nil {
+		return s.ax.tasks
+	}
+	return len(s.plan.chains) * s.ax.nm * s.ax.nd
+}
+
+// rangeAt returns the scheduled half-open range of dispatch unit ri.
+func (s *schedule) rangeAt(ri int) (start, end int) {
+	if s.plan == nil {
+		return ri * s.ax.na, (ri + 1) * s.ax.na
+	}
+	nmnd := s.ax.nm * s.ax.nd
+	ci := ri / nmnd
+	rem := ri % nmnd
+	mi, di := rem/s.ax.nd, rem%s.ax.nd
+	clen := len(s.plan.chains[ci])
+	start = s.blockStart[ci] + (mi*s.ax.nd+di)*s.ax.na*clen
+	return start, start + s.ax.na*clen
+}
+
+// handoff carries chain tail fixed points across shard boundaries. When
+// a shard's last group run is cut off mid-chain, the finishing worker
+// offers a clone of its tail outcome keyed by the first scheduled
+// position of the continuation; the worker evaluating that position
+// takes it and resumes the chain with RunDelta. The exchange is purely
+// opportunistic — if the continuation ran first (shards complete in any
+// order), take records that fact so the offer is dropped instead of
+// retained forever, and the continuation ran its head from scratch with
+// identical results.
+type handoff struct {
+	mu   sync.Mutex
+	m    map[int]*core.Outcome
+	done map[int]bool
+}
+
+func newHandoff() *handoff {
+	return &handoff{m: map[int]*core.Outcome{}, done: map[int]bool{}}
+}
+
+func (h *handoff) offer(pos int, o *core.Outcome) {
+	h.mu.Lock()
+	if h.done[pos] {
+		delete(h.done, pos)
+		h.mu.Unlock()
+		return
+	}
+	h.mu.Unlock()
+	// Clone outside the lock — five n-length array copies would
+	// otherwise serialize every worker crossing a shard boundary.
+	c := o.Clone()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done[pos] {
+		// The consumer ran between the unlock and now; it already did
+		// its own head run, so the clone is dropped, not leaked.
+		delete(h.done, pos)
+		return
+	}
+	h.m[pos] = c
+}
+
+func (h *handoff) take(pos int) *core.Outcome {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if o, ok := h.m[pos]; ok {
+		delete(h.m, pos)
+		return o
+	}
+	h.done[pos] = true
+	return nil
+}
+
+// evaluateRange evaluates the scheduled positions [start, end), calling
+// emit once per valid (attacker ≠ destination) cell with the cell's
+// task index and exact integer happy bounds. Cells are visited in
+// scheduled order; on a chain-major schedule each group run reuses the
+// previous step's fixed point via RunDelta (and the handoff table, when
+// given, bridges runs cut by the range boundary). It reports false if
+// ctx was cancelled, in which case the partial emission must be
+// discarded.
+func (gr *Grid) evaluateRange(ctx context.Context, g *asgraph.Graph, ws *workerState, s *schedule, h *handoff, start, end int, emit func(ti, lo, hi int)) bool {
+	ax := s.ax
+	if s.plan == nil {
+		// Identity: one RunAttack per cell, grouped by task.
+		for cs := start; cs < end; {
+			if ctx.Err() != nil {
+				return false
+			}
+			ti := cs / ax.na
+			aiStart := cs % ax.na
+			aiEnd := ax.na
+			if (ti+1)*ax.na > end {
+				aiEnd = end - ti*ax.na
+			}
+			si, mi, di := ax.decodeTask(ti)
+			e := ws.engine(g, ax.models[mi], gr.LP)
+			d := gr.Destinations[di]
+			dep := ax.deps[si].Dep
+			for ai := aiStart; ai < aiEnd; ai++ {
+				m := gr.Attackers[ai]
+				if m == d {
+					continue
+				}
+				e.RunAttack(d, m, dep, gr.Attack)
+				lo, hi := e.HappyBounds()
+				emit(ti, lo, hi)
+			}
+			cs = ti*ax.na + aiEnd
+		}
+		return true
+	}
+
+	// Chain-major: decompose [start, end) into group runs. Groups are
+	// contiguous runs of one chain's positions for a fixed (model,
+	// destination, attacker); only the first group of the range can
+	// start mid-chain, and only the last can be cut short.
+	nd, na := ax.nd, ax.na
+	for p := start; p < end; {
+		ci := s.chainAt(p)
+		bs := s.blockStart[ci]
+		ch := s.plan.chains[ci]
+		clen := len(ch)
+		r := p - bs
+		gi := r / clen
+		pos0 := r % clen
+		gEnd := bs + (gi+1)*clen
+		p1 := gEnd
+		if p1 > end {
+			p1 = end
+		}
+		mi := gi / (nd * na)
+		rem := gi % (nd * na)
+		di, ai := rem/na, rem%na
+		d, m := gr.Destinations[di], gr.Attackers[ai]
+		if m == d {
+			p = p1
+			continue
+		}
+		e := ws.engine(g, ax.models[mi], gr.LP)
+		var prev *core.Outcome
+		if pos0 > 0 && h != nil {
+			prev = h.take(p)
+		}
+		posEnd := pos0 + (p1 - p)
+		for pos := pos0; pos < posEnd; pos++ {
+			// A group run covers up to a whole chain of engine runs —
+			// re-check the context per step so cancellation stays
+			// prompt.
+			if ctx.Err() != nil {
+				return false
+			}
+			step := ch[pos]
+			dep := ax.deps[step.si].Dep
+			if prev == nil {
+				prev = e.RunAttack(d, m, dep, gr.Attack)
+			} else {
+				prev = e.RunDelta(prev, ch[pos].added, nil, dep, gr.Attack)
+			}
+			lo, hi := e.HappyBounds()
+			emit((step.si*ax.nm+mi)*ax.nd+di, lo, hi)
+		}
+		if h != nil && p1 == end && p1 < gEnd {
+			h.offer(p1, prev)
+		}
+		p = p1
+	}
+	return true
+}

@@ -1,0 +1,283 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/runner"
+	"sbgp/internal/topogen"
+)
+
+// chainedGrid is a rollout-shaped axis whose deployment chain the
+// scheduler orders chain-major.
+func chainedGrid(g *asgraph.Graph, mode IncrementalMode) *Grid {
+	M, D := runner.SamplePairs(asgraph.NonStubs(g), runner.AllASes(g.N()), 5, 6)
+	nonStubs := asgraph.NonStubs(g)
+	deployments := []Deployment{{Name: "baseline"}}
+	for _, k := range []int{4, 10, 20} {
+		deployments = append(deployments, Deployment{
+			Name: fmt.Sprintf("step%d", k),
+			Dep:  &core.Deployment{Full: asgraph.SetOf(g.N(), nonStubs[:k]...)},
+		})
+	}
+	return &Grid{
+		Deployments:  deployments,
+		Attackers:    M,
+		Destinations: D,
+		Incremental:  mode,
+		Workers:      4,
+	}
+}
+
+// TestScheduleShapes pins the scheduler's structural contract: the
+// identity schedule covers the cell space in raw order at the
+// historical dispatch granularity, and a chain-major schedule is a
+// permutation — every cell decoded exactly once — whose flat ranges
+// tile the space.
+func TestScheduleShapes(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 23})
+	for _, mode := range []IncrementalMode{IncrementalOff, IncrementalAuto} {
+		gr := chainedGrid(g, mode)
+		ax, err := gr.expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newSchedule(gr, ax)
+		if wantIdentity := mode == IncrementalOff; s.identity() != wantIdentity {
+			t.Fatalf("mode %v: identity = %v, want %v", mode, s.identity(), wantIdentity)
+		}
+		covered := 0
+		last := -1
+		for ri := 0; ri < s.numRanges(); ri++ {
+			start, end := s.rangeAt(ri)
+			if start != last+1 && ri > 0 {
+				t.Fatalf("mode %v: range %d starts at %d, previous ended at %d", mode, ri, start, last+1)
+			}
+			if ri == 0 && start != 0 {
+				t.Fatalf("mode %v: first range starts at %d", mode, start)
+			}
+			covered += end - start
+			last = end - 1
+		}
+		if covered != ax.cells || last != ax.cells-1 {
+			t.Fatalf("mode %v: ranges cover %d cells ending at %d, want %d", mode, covered, last, ax.cells-1)
+		}
+		if s.identity() {
+			continue
+		}
+		// Every (chain, position, model, dest, attacker) combination is
+		// scheduled exactly once, and the scheduled group decode matches
+		// the plan.
+		seen := make([]bool, ax.cells)
+		for p := 0; p < ax.cells; p++ {
+			ci := s.chainAt(p)
+			bs := s.blockStart[ci]
+			ch := s.plan.chains[ci]
+			r := p - bs
+			gi, pos := r/len(ch), r%len(ch)
+			mi := gi / (ax.nd * ax.na)
+			rem := gi % (ax.nd * ax.na)
+			di, ai := rem/ax.na, rem%ax.na
+			cell := ((ch[pos].si*ax.nm+mi)*ax.nd+di)*ax.na + ai
+			if cell < 0 || cell >= ax.cells || seen[cell] {
+				t.Fatalf("scheduled position %d maps to cell %d (dup or out of range)", p, cell)
+			}
+			seen[cell] = true
+		}
+	}
+}
+
+// TestScheduleLayoutCheckpointCompat is the cross-layout resume
+// contract: shards are cut on the scheduled order, so a checkpoint
+// written under the identity layout (every pre-scheduler release, and
+// IncrementalOff today) must be rejected loudly — via the fingerprint's
+// schedule tag — when resumed under the chain-major layout, and vice
+// versa; silently merging partials across layouts would double-count
+// some cells and drop others. Same-layout resumes keep working, and the
+// identity fingerprint itself is unchanged from the pre-scheduler
+// format.
+func TestScheduleLayoutCheckpointCompat(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 23})
+	dir := t.TempDir()
+	run := func(mode IncrementalMode, ckpt string, resume bool) (*Result, error) {
+		return chainedGrid(g, mode).EvaluateSharded(context.Background(), g, ShardOptions{
+			ShardSize:  7,
+			Checkpoint: ckpt,
+			Resume:     resume,
+		})
+	}
+
+	var want bytes.Buffer
+	if err := chainedGrid(g, IncrementalOff).MustEvaluate(g).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// An identity-layout checkpoint (pre-refactor shard layout).
+	legacy := filepath.Join(dir, "legacy.ckpt")
+	if _, err := run(IncrementalOff, legacy, false); err != nil {
+		t.Fatal(err)
+	}
+	// Resumed under the same layout: fine, byte-identical.
+	res, err := run(IncrementalOff, legacy, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("identity-layout resume diverges")
+	}
+	// Resumed under the chain-major layout: rejected, not silently
+	// merged.
+	if _, err := run(IncrementalAuto, legacy, true); err == nil {
+		t.Fatal("identity-layout checkpoint resumed under the chain-major layout without error")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("cross-layout resume failed with %v, want a fingerprint mismatch", err)
+	}
+
+	// And the mirror image: a chain-major checkpoint rejected under the
+	// identity layout, accepted under its own.
+	chained := filepath.Join(dir, "chained.ckpt")
+	if _, err := run(IncrementalAuto, chained, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(IncrementalOff, chained, true); err == nil {
+		t.Fatal("chain-major checkpoint resumed under the identity layout without error")
+	}
+	res2, err := run(IncrementalAuto, chained, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 bytes.Buffer
+	if err := res2.WriteJSON(&got2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2.Bytes(), want.Bytes()) {
+		t.Error("chain-major resume diverges")
+	}
+
+	// The identity fingerprint is the pre-scheduler fingerprint: a grid
+	// whose axis cannot chain (singleton deployment) fingerprints the
+	// same under every mode, so old checkpoints of such grids resume
+	// under the new default.
+	flatGrid := func(mode IncrementalMode) *Grid {
+		gr := chainedGrid(g, mode)
+		gr.Deployments = gr.Deployments[1:2]
+		return gr
+	}
+	for _, mode := range []IncrementalMode{IncrementalAuto, IncrementalOn} {
+		offGr := flatGrid(IncrementalOff)
+		onGr := flatGrid(mode)
+		axOff, err := offGr.expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		axOn, err := onGr.expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpOff := offGr.fingerprint(g, axOff, newSchedule(offGr, axOff))
+		fpOn := onGr.fingerprint(g, axOn, newSchedule(onGr, axOn))
+		if fpOff != fpOn {
+			t.Errorf("chain-free axis fingerprints differ across modes (%s vs %s)", fpOff, fpOn)
+		}
+	}
+}
+
+// TestChainMajorInterruptResume interrupts a chain-major sharded run
+// mid-flight (real 4-step chains, single-cell shards so nearly every
+// chain step sits at a shard boundary) and resumes it: the resumed run
+// re-evaluates only the missing shards — whose chains restart from
+// whatever heads the checkpoint gap dictates, with no handoffs offered
+// by the skipped shards — and must still land on the uninterrupted
+// bytes exactly.
+func TestChainMajorInterruptResume(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 23})
+	var want bytes.Buffer
+	if err := chainedGrid(g, IncrementalOff).MustEvaluate(g).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	ckpt := filepath.Join(t.TempDir(), "chainmajor.ckpt")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	completed := 0
+	res, err := chainedGrid(g, IncrementalAuto).EvaluateSharded(ctx, g, ShardOptions{
+		ShardSize:  1,
+		Checkpoint: ckpt,
+		Sink: func(*ShardPartial) error {
+			// Far enough in that many chains are mid-walk, far enough
+			// from the end that plenty of shards remain.
+			if completed++; completed == 40 {
+				cancel()
+			}
+			return nil
+		},
+	})
+	if err == nil || res != nil {
+		t.Fatalf("interrupted run returned (%v, %v), want cancellation", res, err)
+	}
+	res2, err := chainedGrid(g, IncrementalAuto).EvaluateSharded(context.Background(), g, ShardOptions{
+		ShardSize:  1,
+		Checkpoint: ckpt,
+		Resume:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := res2.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Error("resumed chain-major run diverges from the uninterrupted bytes")
+	}
+}
+
+// TestCrossShardHandoffEquivalence drives the tail handoff hard: shard
+// sizes that cut every chain mid-walk (including size 1, where every
+// cell is its own shard and every chain step crosses a boundary) must
+// reproduce the flat evaluation byte for byte, with and without a
+// checkpoint in the loop.
+func TestCrossShardHandoffEquivalence(t *testing.T) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 29})
+	var want bytes.Buffer
+	if err := chainedGrid(g, IncrementalOff).MustEvaluate(g).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1, 2, 3, 5} {
+		res, err := chainedGrid(g, IncrementalAuto).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := res.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("shard size %d: handoff result diverges from flat evaluation", size)
+		}
+		ckpt := filepath.Join(t.TempDir(), "handoff.ckpt")
+		cres, err := chainedGrid(g, IncrementalAuto).EvaluateSharded(context.Background(), g, ShardOptions{
+			ShardSize:  size,
+			Checkpoint: ckpt,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cgot bytes.Buffer
+		if err := cres.WriteJSON(&cgot); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cgot.Bytes(), want.Bytes()) {
+			t.Errorf("shard size %d: checkpointed handoff result diverges", size)
+		}
+	}
+}

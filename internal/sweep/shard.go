@@ -9,7 +9,6 @@ import (
 	"sync"
 
 	"sbgp/internal/asgraph"
-	"sbgp/internal/core"
 	"sbgp/internal/runner"
 )
 
@@ -74,13 +73,17 @@ func numShards(cells, shardSize int) int {
 }
 
 // Fingerprint is a stable 64-bit digest of everything that shapes the
-// grid's cell space and per-cell outcomes: topology size, policy
-// variant, attack, and axes (including deployment memberships).
-// Checkpoint files embed it so a resume against a different grid fails
-// loudly instead of merging incompatible partials. Shard size is
-// deliberately excluded — it lives in the header, and resume adopts it
-// from there.
-func (gr *Grid) fingerprint(g *asgraph.Graph, ax *axes) string {
+// grid's cell space, its scheduled order, and per-cell outcomes:
+// topology size, policy variant, attack, axes (including deployment
+// memberships), and — when the scheduler orders cells chain-major — a
+// schedule tag. Checkpoint files embed it so a resume against a
+// different grid, or against the same grid under a different shard
+// layout (shard indices are meaningless across layouts), fails loudly
+// instead of silently merging incompatible partials. Identity-ordered
+// grids carry no tag, so their checkpoints remain interchangeable with
+// every pre-scheduler release. Shard size is deliberately excluded — it
+// lives in the header, and resume adopts it from there.
+func (gr *Grid) fingerprint(g *asgraph.Graph, ax *axes, sched *schedule) string {
 	h := fnv.New64a()
 	wint := func(x int) {
 		var b [8]byte
@@ -132,108 +135,31 @@ func (gr *Grid) fingerprint(g *asgraph.Graph, ax *axes) string {
 	for _, d := range gr.Destinations {
 		wint(int(d))
 	}
+	if sched != nil && !sched.identity() {
+		wstr("schedule:chain-major")
+	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
-// evaluateShard computes the partial aggregate of cells [start, end).
-// It re-checks ctx between tasks and reports ok = false if cancelled,
-// in which case the (incomplete) partial must be discarded.
-func (gr *Grid) evaluateShard(ctx context.Context, g *asgraph.Graph, ws *workerState, ax *axes, shard, start, end int) (p *ShardPartial, ok bool) {
-	p = &ShardPartial{Shard: shard}
-	for cs := start; cs < end; {
-		if ctx.Err() != nil {
-			return nil, false
-		}
-		ti := cs / ax.na
-		aiStart := cs % ax.na
-		aiEnd := ax.na
-		if (ti+1)*ax.na > end {
-			aiEnd = end - ti*ax.na
-		}
-		si, mi, di := ax.decodeTask(ti)
-		e := ws.engine(g, ax.models[mi], gr.LP)
-		d := gr.Destinations[di]
-		dep := ax.deps[si].Dep
-		var a destAcc
-		for ai := aiStart; ai < aiEnd; ai++ {
-			m := gr.Attackers[ai]
-			if m == d {
-				continue
-			}
-			o := e.RunAttack(d, m, dep, gr.Attack)
-			lo, hi := o.HappyBounds()
-			a.lo += lo
-			a.hi += hi
-			a.pairs++
-		}
-		if a.pairs > 0 {
-			p.Tasks = append(p.Tasks, ti)
-			p.Lo = append(p.Lo, a.lo)
-			p.Hi = append(p.Hi, a.hi)
-			p.Pairs = append(p.Pairs, a.pairs)
-		}
-		cs = ti*ax.na + aiEnd
-	}
-	return p, true
-}
-
-// evaluateShardChained computes the same partial as evaluateShard, but
-// walks the shard's cells chain-by-chain: cells sharing a (chain,
-// model, destination, attacker) group are evaluated in nested
-// deployment order with RunDelta reuse, skipping across chain steps
-// that fall outside the shard by accumulating their member deltas. The
-// emitted partial lists tasks in the same ascending order with the same
-// exact integer counts, so the merged result stays byte-identical.
-func (gr *Grid) evaluateShardChained(ctx context.Context, g *asgraph.Graph, ws *workerState, ax *axes, plan *chainPlan, shard, start, end int) (p *ShardPartial, ok bool) {
-	// Group the shard's runnable cells by (chain, model, destination,
-	// attacker); values are chain positions, walked in nested order.
-	type groupKey struct{ ci, mi, di, ai int }
-	groups := make(map[groupKey][]int)
-	for cs := start; cs < end; cs++ {
-		ti := cs / ax.na
-		ai := cs % ax.na
-		si, mi, di := ax.decodeTask(ti)
-		if gr.Attackers[ai] == gr.Destinations[di] {
-			continue
-		}
-		k := groupKey{plan.chainOf[si], mi, di, ai}
-		groups[k] = append(groups[k], plan.posOf[si])
-	}
-	// Iteration order over the map is irrelevant: every cell's counts
-	// are exact integers accumulated positionally per task.
+// evaluateShardPartial computes the exact partial aggregate of the
+// scheduled positions [start, end) through the unified scheduler walk
+// (scheduler.go), listing the touched tasks in ascending order so the
+// record bytes are independent of the walk order. It reports ok = false
+// if ctx was cancelled, in which case the (incomplete) partial must be
+// discarded.
+func (gr *Grid) evaluateShardPartial(ctx context.Context, g *asgraph.Graph, ws *workerState, sched *schedule, h *handoff, shard, start, end int) (p *ShardPartial, ok bool) {
 	accs := make(map[int]*destAcc)
-	for k, positions := range groups {
-		if ctx.Err() != nil {
-			return nil, false
+	if !gr.evaluateRange(ctx, g, ws, sched, h, start, end, func(ti, lo, hi int) {
+		a := accs[ti]
+		if a == nil {
+			a = &destAcc{}
+			accs[ti] = a
 		}
-		sort.Ints(positions)
-		ch := plan.chains[k.ci]
-		e := ws.engine(g, ax.models[k.mi], gr.LP)
-		d := gr.Destinations[k.di]
-		m := gr.Attackers[k.ai]
-		var prev *core.Outcome
-		prevPos := -1
-		for _, pos := range positions {
-			step := ch[pos]
-			dep := ax.deps[step.si].Dep
-			var o *core.Outcome
-			if prev == nil {
-				o = e.RunAttack(d, m, dep, gr.Attack)
-			} else {
-				o = e.RunDelta(prev, addedBetween(ch, prevPos, pos), dep, gr.Attack)
-			}
-			ti := (step.si*ax.nm+k.mi)*ax.nd + k.di
-			a := accs[ti]
-			if a == nil {
-				a = &destAcc{}
-				accs[ti] = a
-			}
-			lo, hi := o.HappyBounds()
-			a.lo += lo
-			a.hi += hi
-			a.pairs++
-			prev, prevPos = o, pos
-		}
+		a.lo += lo
+		a.hi += hi
+		a.pairs++
+	}) {
+		return nil, false
 	}
 	p = &ShardPartial{Shard: shard}
 	tis := make([]int, 0, len(accs))
@@ -252,13 +178,16 @@ func (gr *Grid) evaluateShardChained(ctx context.Context, g *asgraph.Graph, ws *
 }
 
 // EvaluateSharded evaluates the grid like EvaluateContext, but
-// partitioned into fixed-size shards of the flattened (deployment ×
-// model × destination × attacker) cell space. Shards are dispatched to
-// the worker pool with per-worker engine reuse; each completed shard's
-// exact integer partial is streamed to the checkpoint file and sink,
-// and all partials are merged positionally, so the Result is
-// byte-identical to EvaluateContext at every worker count and shard
-// size.
+// partitioned into fixed-size shards of the *scheduled* (deployment ×
+// model × destination × attacker) cell space: incremental grids order
+// the cells chain-major before the shards are cut, so a RunDelta chain
+// occupies consecutive shards (with tail fixed points handed across the
+// boundaries) instead of scattering one cell into every shard. Shards
+// are dispatched to the worker pool with per-worker engine reuse; each
+// completed shard's exact integer partial is streamed to the checkpoint
+// file and sink, and all partials are merged positionally, so the
+// Result is byte-identical to EvaluateContext at every worker count and
+// shard size.
 //
 // With a Checkpoint configured, every completed shard is durably
 // recorded (fsync per record). Cancelling ctx aborts promptly with
@@ -273,6 +202,7 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 	if err != nil {
 		return nil, err
 	}
+	sched := newSchedule(gr, ax)
 	size := opts.ShardSize
 	if size <= 0 {
 		size = DefaultShardSize
@@ -281,8 +211,10 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 	if opts.Checkpoint != "" {
 		// A resumed checkpoint dictates the shard size (shard indices
 		// are meaningless under any other partition); an explicit
-		// conflicting ShardSize is rejected inside openCheckpoint.
-		cp, size, err = openCheckpoint(opts.Checkpoint, gr.fingerprint(g, ax),
+		// conflicting ShardSize is rejected inside openCheckpoint, and
+		// a file written under a different schedule (identity vs
+		// chain-major) is rejected by the fingerprint.
+		cp, size, err = openCheckpoint(opts.Checkpoint, gr.fingerprint(g, ax, sched),
 			ax.cells, ax.tasks, opts.ShardSize, opts.Resume)
 		if err != nil {
 			return nil, err
@@ -317,11 +249,11 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 		}
 	}
 
-	// Incremental grids walk nested-deployment chains inside each shard
-	// (the plan is shared, read-only, across workers).
-	var plan *chainPlan
-	if gr.Incremental {
-		plan = buildChainPlan(ax.deps)
+	// Chain tail handoffs across shard boundaries (chain-major
+	// schedules only; the identity schedule never splits a chain).
+	var h *handoff
+	if !sched.identity() {
+		h = newHandoff()
 	}
 
 	// abort lets a checkpoint or sink failure stop the remaining shards
@@ -339,13 +271,7 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 		if end > ax.cells {
 			end = ax.cells
 		}
-		var p *ShardPartial
-		var ok bool
-		if plan != nil {
-			p, ok = gr.evaluateShardChained(ctx, g, ws, ax, plan, s, start, end)
-		} else {
-			p, ok = gr.evaluateShard(ctx, g, ws, ax, s, start, end)
-		}
+		p, ok := gr.evaluateShardPartial(ctx, g, ws, sched, h, s, start, end)
 		if !ok {
 			return
 		}

@@ -20,12 +20,67 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/core"
 	"sbgp/internal/policy"
 	"sbgp/internal/runner"
 )
+
+// IncrementalMode is the tri-state scheduling override for a grid's
+// evaluation order. The default, IncrementalAuto, uses chain-major
+// incremental scheduling whenever the deployment axis chains (results
+// are byte-identical either way, so there is no correctness reason to
+// opt out); IncrementalOff restores the legacy deployment-outermost
+// order, and IncrementalOn pins the incremental scheduler explicitly —
+// today it behaves exactly like Auto and exists so callers and scripts
+// can state their intent against future changes of the default.
+type IncrementalMode int
+
+const (
+	// IncrementalAuto (the zero value): chain-major scheduling with
+	// RunDelta reuse whenever the deployment axis yields nested chains;
+	// incomparable axes degrade to the legacy order automatically.
+	IncrementalAuto IncrementalMode = iota
+	// IncrementalOn pins incremental scheduling (currently identical to
+	// IncrementalAuto).
+	IncrementalOn
+	// IncrementalOff restores the legacy schedule: every cell runs from
+	// scratch in deployment-outermost order.
+	IncrementalOff
+)
+
+// enabled reports whether the mode permits incremental scheduling.
+func (m IncrementalMode) enabled() bool { return m != IncrementalOff }
+
+// String returns the flag spelling of the mode.
+func (m IncrementalMode) String() string {
+	switch m {
+	case IncrementalOn:
+		return "on"
+	case IncrementalOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// ParseIncrementalMode resolves an -incremental flag value: "auto" (or
+// empty), "on" (aliases "true", "1", "yes"), or "off" (aliases "false",
+// "0", "no"). The boolean aliases keep pre-tri-state command lines
+// working.
+func ParseIncrementalMode(s string) (IncrementalMode, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return IncrementalAuto, nil
+	case "on", "true", "1", "yes":
+		return IncrementalOn, nil
+	case "off", "false", "0", "no":
+		return IncrementalOff, nil
+	}
+	return 0, fmt.Errorf("sweep: unknown incremental mode %q (want auto, on, or off)", s)
+}
 
 // Deployment is one named point on the deployment axis. A nil Dep is
 // the baseline S = ∅ (RPKI origin authentication only).
@@ -52,13 +107,15 @@ type Grid struct {
 	// the default one-hop "m, d" hijack of Section 3.1.
 	Attack core.Attack
 
-	// Incremental enables deployment-ordered scheduling: the deployment
-	// axis is partitioned into nested chains (see chain.go) and each
-	// (model, destination, attacker) triple walks its chain with
-	// Engine.RunDelta reusing the previous step's fixed point. Results
-	// are byte-identical to the default scheduling; rollout-shaped
-	// grids evaluate substantially faster.
-	Incremental bool
+	// Incremental selects the scheduling mode. The zero value,
+	// IncrementalAuto, orders the cell space chain-major: the
+	// deployment axis is partitioned into nested chains (see chain.go)
+	// and each (model, destination, attacker) triple walks its chain
+	// with Engine.RunDelta reusing the previous step's fixed point —
+	// byte-identical results, substantially faster rollout-shaped
+	// grids, and an automatic degradation to the legacy order when the
+	// axis has no chains. IncrementalOff forces the legacy order.
+	Incremental IncrementalMode
 
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
 	Workers int
@@ -223,87 +280,31 @@ func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	if gr.Incremental {
-		acc := make([]destAcc, ax.tasks)
-		if err := gr.evaluateChained(ctx, g, ax, acc); err != nil {
-			return nil, err
-		}
-		return gr.reduce(g, ax, acc), nil
-	}
-
-	// One task per (deployment, model, destination) triple: coarse
-	// enough to amortize dispatch, fine enough to balance load.
+	// The unified scheduler (scheduler.go) orders the cell space —
+	// chain-major for incremental grids, identity otherwise — and the
+	// flat evaluator dispatches one scheduled range per task: coarse
+	// enough to amortize dispatch, fine enough to balance load, and
+	// aligned so every RunDelta chain stays within one worker. Ranges
+	// touch disjoint task sets, so the positional accumulator needs no
+	// locking, and the integer counts land in the same positions as the
+	// legacy scheduling — byte-identical results.
+	sched := newSchedule(gr, ax)
 	acc := make([]destAcc, ax.tasks)
-	err = runner.ForEach(ctx, ax.tasks, gr.Workers, func() *workerState {
+	err = runner.ForEach(ctx, sched.numRanges(), gr.Workers, func() *workerState {
 		return &workerState{}
-	}, func(ws *workerState, ti int) {
-		si, mi, di := ax.decodeTask(ti)
-		e := ws.engine(g, ax.models[mi], gr.LP)
-		d := gr.Destinations[di]
-		dep := ax.deps[si].Dep
-		var a destAcc
-		for _, m := range gr.Attackers {
-			if m == d {
-				continue
-			}
-			o := e.RunAttack(d, m, dep, gr.Attack)
-			lo, hi := o.HappyBounds()
+	}, func(ws *workerState, ri int) {
+		start, end := sched.rangeAt(ri)
+		gr.evaluateRange(ctx, g, ws, sched, nil, start, end, func(ti, lo, hi int) {
+			a := &acc[ti]
 			a.lo += lo
 			a.hi += hi
 			a.pairs++
-		}
-		acc[ti] = a
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
 	return gr.reduce(g, ax, acc), nil
-}
-
-// evaluateChained is the incremental scheduler: one task per (chain,
-// model, destination) triple, and within a task every attacker walks
-// the chain's nested deployments with RunDelta reuse. Each deployment
-// belongs to exactly one chain, so tasks still own disjoint slices of
-// the accumulator, and the integer counts land in the same positions as
-// the default scheduling — byte-identical results.
-func (gr *Grid) evaluateChained(ctx context.Context, g *asgraph.Graph, ax *axes, acc []destAcc) error {
-	plan := buildChainPlan(ax.deps)
-	tasks := len(plan.chains) * ax.nm * ax.nd
-	return runner.ForEach(ctx, tasks, gr.Workers, func() *workerState {
-		return &workerState{}
-	}, func(ws *workerState, ti int) {
-		ci, mi, di := ax.decodeTask(ti)
-		e := ws.engine(g, ax.models[mi], gr.LP)
-		d := gr.Destinations[di]
-		ch := plan.chains[ci]
-		for _, m := range gr.Attackers {
-			if m == d {
-				continue
-			}
-			var prev *core.Outcome
-			for _, step := range ch {
-				// A chain task covers chain × attackers engine runs, far
-				// more than a default task — re-check the context per
-				// step so cancellation stays prompt.
-				if ctx.Err() != nil {
-					return
-				}
-				dep := ax.deps[step.si].Dep
-				var o *core.Outcome
-				if prev == nil {
-					o = e.RunAttack(d, m, dep, gr.Attack)
-				} else {
-					o = e.RunDelta(prev, step.added, dep, gr.Attack)
-				}
-				lo, hi := o.HappyBounds()
-				a := &acc[(step.si*ax.nm+mi)*ax.nd+di]
-				a.lo += lo
-				a.hi += hi
-				a.pairs++
-				prev = o
-			}
-		}
-	})
 }
 
 // reduce folds the exact per-task integer counts into a Result in axis

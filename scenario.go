@@ -32,7 +32,7 @@ type Scenario struct {
 	workers     int
 	ctx         context.Context
 	resolve     bool
-	incremental bool
+	incremental IncrementalMode
 
 	shardSize  int
 	checkpoint string
@@ -206,14 +206,18 @@ func WithResume() Option {
 	return func(sc *Scenario) { sc.resume = true }
 }
 
-// WithIncremental toggles incremental (delta) evaluation for the
-// scenario's sweeps: the deployment axis is partitioned into nested
-// chains and each (model, destination, attacker) triple reuses the
-// previous deployment's fixed point via Engine.RunDelta. Results are
-// byte-identical to the default evaluation; rollout-shaped grids run
-// substantially faster. RunDeltaSeries is incremental regardless.
-func WithIncremental(on bool) Option {
-	return func(sc *Scenario) { sc.incremental = on }
+// WithIncremental overrides the incremental (delta) scheduling mode of
+// the scenario's sweeps. The default is IncrementalAuto: the deployment
+// axis is partitioned into nested chains and each (model, destination,
+// attacker) triple reuses the previous deployment's fixed point via
+// Engine.RunDelta whenever the axis actually chains — results are
+// byte-identical to the legacy evaluation, rollout-shaped grids run
+// substantially faster, and incomparable axes degrade to the legacy
+// order on their own. Pass IncrementalOff to force the from-scratch
+// schedule (IncrementalOn pins the incremental scheduler explicitly).
+// RunDeltaSeries is incremental regardless.
+func WithIncremental(mode IncrementalMode) Option {
+	return func(sc *Scenario) { sc.incremental = mode }
 }
 
 // WithContext attaches a context to everything the simulation runs:

@@ -22,7 +22,7 @@ type Simulation struct {
 	workers     int
 	ctx         context.Context
 	resolve     bool
-	incremental bool
+	incremental IncrementalMode
 
 	shardSize  int
 	checkpoint string
@@ -163,14 +163,17 @@ func (s *Simulation) grid(attackers, destinations []AS) *Grid {
 
 // RunDeltaSeries computes the outcome of one (destination, attacker)
 // pair under each deployment of a series, in order, reusing each step's
-// fixed point for the next via Engine.RunDelta whenever the next
-// deployment is a superset of the current one (the nested S₁ ⊂ S₂ ⊂ …
-// shape of the paper's rollout experiments); non-nested steps fall back
-// to a from-scratch run. Pass m = NoAS for normal conditions, and nil
-// entries for the S = ∅ baseline. Each returned outcome is an
-// independent clone, indexed like deps; results are identical to
-// running every deployment from scratch. Cancelling the scenario
-// context aborts the series between steps.
+// fixed point for the next via Engine.RunDelta. Deltas are signed, so
+// every step is incremental — growing steps (the nested S₁ ⊂ S₂ ⊂ …
+// shape of the paper's rollout experiments), shrinking ones (a rollback
+// walking the same slope down), and remove-then-add steps between
+// incomparable deployments alike; the engine itself falls back to a
+// from-scratch run only when a step's dirty region grows past its
+// delta threshold. Pass m = NoAS for normal conditions, and nil entries
+// for the S = ∅ baseline. Each returned outcome is an independent
+// clone, indexed like deps; results are identical to running every
+// deployment from scratch. Cancelling the scenario context aborts the
+// series between steps.
 func (s *Simulation) RunDeltaSeries(d, m AS, deps []*Deployment) ([]*Outcome, error) {
 	if err := s.checkRun(d, m); err != nil {
 		return nil, err
@@ -184,11 +187,9 @@ func (s *Simulation) RunDeltaSeries(d, m AS, deps []*Deployment) ([]*Outcome, er
 		}
 		var o *Outcome
 		if prev != nil {
-			if added, nested := DeploymentDelta(deps[i-1], dep); nested {
-				o = e.RunDelta(prev, added, dep, s.attack)
-			}
-		}
-		if o == nil {
+			added, removed := DeploymentDelta(deps[i-1], dep)
+			o = e.RunDelta(prev, added, removed, dep, s.attack)
+		} else {
 			o = e.RunAttack(d, m, dep, s.attack)
 		}
 		out[i] = o.Clone()
