@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare cover fmt-check vet staticcheck examples-smoke fuzz-smoke ci
+.PHONY: all build test race bench bench-smoke bench-compare cover fmt-check vet staticcheck examples-smoke sbgpd-smoke fuzz-smoke ci
 
 all: build
 
@@ -18,7 +18,7 @@ cover:
 	$(GO) tool cover -func=coverage.out
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/sweep/...
+	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/sweep/... ./internal/service/...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -46,6 +46,11 @@ examples-smoke:
 	$(GO) run ./examples/wedgie >/dev/null
 	@echo "examples OK"
 
+# sbgpd-smoke starts the resident daemon on an ephemeral port, drives
+# a small headline grid through the HTTP API, and shuts down cleanly.
+sbgpd-smoke:
+	./scripts/sbgpd_smoke.sh
+
 # fuzz-smoke runs each fuzz target briefly against its corpus plus a
 # short exploration — a regression smoke, not a campaign. go test -fuzz
 # takes one target per invocation, hence one line per target.
@@ -70,4 +75,4 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare
 
 # ci mirrors the blocking jobs of .github/workflows/ci.yml.
-ci: fmt-check vet staticcheck build test race examples-smoke fuzz-smoke
+ci: fmt-check vet staticcheck build test race examples-smoke sbgpd-smoke fuzz-smoke

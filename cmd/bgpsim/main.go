@@ -18,12 +18,20 @@
 // checkpoint, so an interrupted enumeration resumes instead of
 // restarting (the output stays byte-identical either way).
 //
+// With -job spec.json it evaluates the sweep-grid job described by a
+// versioned sbgp.JobSpec JSON file — the same spec format the sbgpd
+// daemon accepts — and prints the grid as JSON. The scattered -sweep
+// grid flags are the deprecated spelling of the same job, mapped onto
+// a JobSpec by one shared conversion helper, so both spellings print
+// byte-identical grids. New automation should write a spec file.
+//
 // Examples:
 //
 //	bgpsim -n 4000 -d 17 -m 212 -model 2 -deploy t1t2
 //	bgpsim -n 4000 -d 17 -m 212 -deploy t1t2 -attack pad-3
 //	bgpsim -n 4000 -deploy t1t2 -sweep -maxm 24 -maxd 32
 //	bgpsim -n 4000 -deploy t1t2 -sweep -full -checkpoint sweep.ckpt -resume
+//	bgpsim -job spec.json > grid.json
 package main
 
 import (
@@ -67,7 +75,30 @@ func main() {
 	flag.Var(&incremental,
 		"incremental",
 		"with -sweep: delta scheduling mode, -incremental=auto|on|off (default auto reuses fixed points across nested deployments; bare -incremental means on; identical results)")
+	jobPath := flag.String("job", "",
+		"evaluate the sweep-grid job described by this JobSpec JSON file and print the grid (replaces the deprecated -sweep grid flags)")
 	flag.Parse()
+
+	if *jobPath != "" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "job", "workers":
+			default:
+				log.Fatalf("-%s is part of the deprecated flag spelling and conflicts with -job (put it in the spec file)", f.Name)
+			}
+		})
+		spec, err := sbgp.LoadJobSpec(*jobPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *workers != 0 {
+			spec.Workers = *workers
+		}
+		if err := printGrid(spec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var model sbgp.Model
 	switch *modelFlag {
@@ -83,6 +114,35 @@ func main() {
 	attack, err := sbgp.ParseAttack(*attackFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *sweepFlag {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "d", "m", "model", "path":
+				log.Fatalf("-%s selects a single scenario and conflicts with -sweep", f.Name)
+			case "maxm", "maxd":
+				if *full {
+					log.Fatalf("-%s samples pairs and conflicts with -full", f.Name)
+				}
+			}
+		})
+		if *resume && *checkpoint == "" {
+			log.Fatal("-resume needs -checkpoint")
+		}
+		// The deprecated grid flags are one spelling of a JobSpec: map
+		// them through the shared conversion helper and evaluate the
+		// spec exactly as -job (and the sbgpd daemon) would, so both
+		// spellings print byte-identical grids.
+		spec, err := legacySweepSpec(*graphPath, *n, *seed, *lpk, *deployFlag, *attackFlag,
+			incremental.Mode, *full, *maxM, *maxD, *shards, *checkpoint, *resume, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := printGrid(spec); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	opts := []sbgp.Option{
@@ -103,41 +163,6 @@ func main() {
 		log.Fatal(err)
 	}
 	g := sim.Graph()
-
-	if *sweepFlag {
-		flag.Visit(func(f *flag.Flag) {
-			switch f.Name {
-			case "d", "m", "model", "path":
-				log.Fatalf("-%s selects a single scenario and conflicts with -sweep", f.Name)
-			case "maxm", "maxd":
-				if *full {
-					log.Fatalf("-%s samples pairs and conflicts with -full", f.Name)
-				}
-			}
-		})
-		if *resume && *checkpoint == "" {
-			log.Fatal("-resume needs -checkpoint")
-		}
-		M, D := sbgp.NonStubs(g), sbgp.AllASes(g.N())
-		if !*full {
-			M, D = sbgp.SamplePairs(M, D, *maxM, *maxD)
-		}
-		var res *sbgp.Result
-		if *shards > 0 || *checkpoint != "" {
-			res, err = sim.SweepSharded(M, D, sbgp.ShardOptions{
-				ShardSize: *shards, Checkpoint: *checkpoint, Resume: *resume,
-			})
-		} else {
-			res, err = sim.Sweep(M, D)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := res.WriteJSON(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
 
 	d := sbgp.AS(*dst)
 	m := sbgp.AS(*att)
@@ -188,4 +213,47 @@ func main() {
 		fmt.Printf("route of AS%d: %v (%s)\n", *showPath,
 			normal.Path(sbgp.AS(*showPath)), normal.Class[*showPath])
 	}
+}
+
+// legacySweepSpec maps the deprecated -sweep grid-flag surface onto the
+// unified JobSpec through the one shared conversion helper.
+func legacySweepSpec(graph string, n int, seed int64, lpk int, deployName, attack string,
+	mode sbgp.IncrementalMode, full bool, maxM, maxD, shards int, checkpoint string,
+	resume bool, workers int) (*sbgp.JobSpec, error) {
+	lf := sbgp.LegacyFlags{
+		GraphFile:   graph,
+		LPK:         lpk,
+		Deployments: []string{deployName},
+		Attack:      attack,
+		Incremental: mode.String(),
+		Full:        full,
+		MaxM:        maxM, MaxD: maxD,
+		ShardSize:  shards,
+		Checkpoint: checkpoint,
+		Resume:     resume,
+		Workers:    workers,
+	}
+	if graph == "" {
+		lf.N, lf.Seed = n, seed
+	}
+	return lf.JobSpec()
+}
+
+// printGrid evaluates a job through the one shared path (the same
+// FromJobSpec → Simulate → EvaluateJob pipeline the daemon uses) and
+// prints the result grid as JSON.
+func printGrid(spec *sbgp.JobSpec) error {
+	sc, err := sbgp.FromJobSpec(spec)
+	if err != nil {
+		return err
+	}
+	sim, err := sc.Simulate()
+	if err != nil {
+		return err
+	}
+	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{})
+	if err != nil {
+		return err
+	}
+	return res.WriteJSON(os.Stdout)
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sbgp"
+)
+
+// TestLegacySweepSpecMatchesJobFile pins the two spellings at the spec
+// level: the deprecated -sweep grid flags, mapped through the shared
+// conversion helper, produce exactly the spec a -job file would carry.
+func TestLegacySweepSpecMatchesJobFile(t *testing.T) {
+	legacy, err := legacySweepSpec("", 300, 7, 2, "t1t2", "spoof",
+		sbgp.IncrementalAuto, false, 6, 8, 64, "sweep.ckpt", false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := sbgp.ReadJobSpec(strings.NewReader(`{
+		"version": 1,
+		"topology": {"n": 300, "seed": 7},
+		"lpk": 2,
+		"deployments": [{"named": "t1t2"}],
+		"attack": "origin-spoof",
+		"pairs": {"max_m": 6, "max_d": 8},
+		"shard_size": 64,
+		"checkpoint": "sweep.ckpt",
+		"workers": 2
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, fromFile.Canonical()) {
+		l, _ := json.Marshal(legacy)
+		f, _ := json.Marshal(fromFile.Canonical())
+		t.Errorf("flag spelling and spec file diverge:\nflags %s\n file %s", l, f)
+	}
+}
+
+// TestLegacySweepSpecVariants covers the remaining flag shapes: the
+// graph-file source, the "none" deployment, and full enumeration.
+func TestLegacySweepSpecVariants(t *testing.T) {
+	graph, err := legacySweepSpec("g.txt", 4000, 1, 0, "none", "one-hop",
+		sbgp.IncrementalAuto, false, 24, 32, 0, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.Topology.GraphFile != "g.txt" || graph.Topology.N != 0 {
+		t.Errorf("graph-file source mishandled: %+v", graph.Topology)
+	}
+	if len(graph.Deployments) != 0 {
+		t.Errorf("deploy=none added a deployment: %+v", graph.Deployments)
+	}
+
+	full, err := legacySweepSpec("", 300, 7, 0, "t2", "one-hop",
+		sbgp.IncrementalAuto, true, 24, 32, 0, "", false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Pairs.Full || full.Pairs.MaxM != 0 || full.Pairs.MaxD != 0 {
+		t.Errorf("full spelling kept sampling caps: %+v", full.Pairs)
+	}
+}

@@ -9,6 +9,7 @@
 //	            [-workers 0] [-quick] [-skip-ixp] [-json grid.json]
 //	            [-attack one-hop] [-full] [-shards N]
 //	            [-checkpoint sweep.ckpt] [-resume] [-incremental[=auto|on|off]]
+//	experiments -job spec.json -json grid.json
 //
 // -quick shrinks everything for a fast smoke run. -json additionally
 // writes the headline (model × deployment) sweep grid as a JSON
@@ -16,6 +17,15 @@
 // byte-identical at any worker count. -attack swaps the threat model of
 // the metric experiments (the partition, root-cause, and phenomena
 // experiments are defined for the one-hop attack and ignore it).
+//
+// -job runs one sweep-grid job described by a versioned sbgp.JobSpec
+// JSON file — the same spec format the sbgpd daemon accepts — and
+// writes the result grid to -json, skipping the paper report. The
+// scattered grid flags (-n/-seed/-maxm/-maxd/-attack/-full/-shards/
+// -checkpoint/-resume/-incremental/-workers) are the deprecated
+// spelling of the same job: they are mapped onto a JobSpec by one
+// shared conversion helper, so both spellings produce byte-identical
+// grid files. New automation should write a spec file.
 //
 // -full replaces the MaxM/MaxD pair sampling with the paper's full
 // enumeration: every non-stub attacker × every destination (Appendix
@@ -34,7 +44,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -67,12 +76,38 @@ func main() {
 	flag.Var(&incremental,
 		"incremental",
 		"delta scheduling mode, -incremental=auto|on|off (default auto reuses each deployment's fixed point across nested deployments; bare -incremental means on; identical results)")
+	jobPath := flag.String("job", "",
+		"run the sweep-grid job described by this JobSpec JSON file and write the grid to -json (replaces the deprecated grid flags)")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *jobPath != "" {
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "job", "json", "workers":
+			default:
+				fail(fmt.Errorf("-%s is part of the deprecated flag spelling and conflicts with -job (put it in the spec file)", f.Name))
+			}
+		})
+		if *jsonPath == "" {
+			fail(fmt.Errorf("-job writes the result grid and needs -json"))
+		}
+		spec, err := sbgp.LoadJobSpec(*jobPath)
+		if err != nil {
+			fail(err)
+		}
+		if *workers != 0 {
+			spec.Workers = *workers
+		}
+		if err := writeGrid(spec, *jsonPath); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	attack, err := sbgp.ParseAttack(*attackFlag)
 	if err != nil {
 		fail(err)
@@ -103,35 +138,68 @@ func main() {
 
 	lp := sbgp.StandardLP
 	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
+		// The deprecated grid flags are one spelling of a JobSpec: map
+		// them through the shared conversion helper and evaluate the
+		// spec exactly as -job (and the sbgpd daemon) would, so both
+		// spellings write byte-identical grid files.
+		spec, err := headlineSpec(cfg, *attackFlag, incremental.Mode, *shards, *checkpoint, *resume)
 		if err != nil {
 			fail(err)
 		}
-		var res *sbgp.Result
-		if sharded {
-			res, err = w.BaselineGridSharded(context.Background(), lp, sbgp.ShardOptions{
-				ShardSize:  *shards,
-				Checkpoint: *checkpoint,
-				Resume:     *resume,
-			})
-			if err != nil {
-				f.Close()
-				fail(err)
-			}
-		} else {
-			res = w.BaselineGrid(lp)
-		}
-		if err := res.WriteJSON(f); err == nil {
-			err = f.Close()
-		} else {
-			f.Close()
-		}
-		if err != nil {
+		if err := writeGrid(spec, *jsonPath); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %d-cell sweep grid to %s\n", len(res.Cells), *jsonPath)
 	}
 	report(os.Stdout, w, lp, !*skipIXP, cfg)
+}
+
+// headlineSpec maps the deprecated grid-flag surface onto the unified
+// JobSpec: the headline (model × deployment) grid — baseline plus the
+// named rollout endpoints — over the workload's pair policy.
+func headlineSpec(cfg sbgp.ExperimentConfig, attack string, mode sbgp.IncrementalMode, shards int, checkpoint string, resume bool) (*sbgp.JobSpec, error) {
+	return sbgp.LegacyFlags{
+		N: cfg.N, Seed: cfg.Seed,
+		Deployments: []string{"t1t2", "t2", "nonstubs"},
+		Attack:      attack,
+		Incremental: mode.String(),
+		Full:        cfg.FullEnumeration,
+		MaxM:        cfg.MaxM, MaxD: cfg.MaxD,
+		ShardSize:  shards,
+		Checkpoint: checkpoint,
+		Resume:     resume,
+		Workers:    cfg.Workers,
+	}.JobSpec()
+}
+
+// writeGrid evaluates a job through the one shared path (the same
+// FromJobSpec → Simulate → EvaluateJob pipeline the daemon uses) and
+// writes the result grid to path.
+func writeGrid(spec *sbgp.JobSpec, path string) error {
+	sc, err := sbgp.FromJobSpec(spec)
+	if err != nil {
+		return err
+	}
+	sim, err := sc.Simulate()
+	if err != nil {
+		return err
+	}
+	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d-cell sweep grid to %s\n", len(res.Cells), path)
+	return nil
 }
 
 func report(out *os.File, w *sbgp.Workload, lp sbgp.LocalPref, withIXP bool, cfg sbgp.ExperimentConfig) {

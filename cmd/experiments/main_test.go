@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sbgp"
+)
+
+// TestHeadlineSpecMatchesJobFile pins the two spellings at the spec
+// level: the deprecated grid flags, mapped through the shared
+// conversion helper, produce exactly the spec a -job file would carry.
+func TestHeadlineSpecMatchesJobFile(t *testing.T) {
+	cfg := sbgp.ExperimentConfig{N: 300, Seed: 7, MaxM: 6, MaxD: 8, Workers: 2}
+	legacy, err := headlineSpec(cfg, "pad-2", sbgp.IncrementalOn, 64, "grid.ckpt", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := sbgp.ReadJobSpec(strings.NewReader(`{
+		"version": 1,
+		"topology": {"n": 300, "seed": 7},
+		"deployments": [{"named": "t1t2"}, {"named": "t2"}, {"named": "nonstubs"}],
+		"attack": "pad-2",
+		"incremental": "on",
+		"pairs": {"max_m": 6, "max_d": 8},
+		"shard_size": 64,
+		"checkpoint": "grid.ckpt",
+		"workers": 2
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, fromFile.Canonical()) {
+		l, _ := json.Marshal(legacy)
+		f, _ := json.Marshal(fromFile.Canonical())
+		t.Errorf("flag spelling and spec file diverge:\nflags %s\n file %s", l, f)
+	}
+
+	// The full-enumeration spelling drops the (meaningless) sampling
+	// caps instead of carrying the flag defaults.
+	cfg.FullEnumeration, cfg.MaxM, cfg.MaxD = true, 24, 32
+	fullSpec, err := headlineSpec(cfg, "one-hop", sbgp.IncrementalAuto, 0, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fullSpec.Pairs.Full || fullSpec.Pairs.MaxM != 0 || fullSpec.Pairs.MaxD != 0 {
+		t.Errorf("full spelling kept sampling caps: %+v", fullSpec.Pairs)
+	}
+}
+
+// TestWriteGridMatchesWorkloadGrid pins the output contract across the
+// redesign: the unified job path writes the headline grid byte-for-byte
+// as the pre-JobSpec Workload evaluation did, so existing -json
+// consumers see no change — and the -job spelling matches the legacy
+// flags exactly.
+func TestWriteGridMatchesWorkloadGrid(t *testing.T) {
+	cfg := sbgp.ExperimentConfig{N: 300, Seed: 7, MaxM: 6, MaxD: 8, Workers: 2}
+	spec, err := headlineSpec(cfg, "one-hop", sbgp.IncrementalAuto, 0, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := writeGrid(spec, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want bytes.Buffer
+	if err := sbgp.NewWorkload(cfg).BaselineGrid(sbgp.StandardLP).WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("job-path grid differs from workload grid:\n got %s\nwant %s", got, want.Bytes())
+	}
+
+	// The -job spelling goes through the same writeGrid, so a spec file
+	// round-trip cannot change the bytes either.
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	f, err := os.Create(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := sbgp.LoadJobSpec(specPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(t.TempDir(), "grid2.json")
+	if err := writeGrid(loaded, path2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, got) {
+		t.Error("-job spelling wrote different grid bytes than the legacy flags")
+	}
+}

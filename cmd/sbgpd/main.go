@@ -1,0 +1,86 @@
+// Command sbgpd is the resident sweep daemon: a long-lived HTTP
+// service that materializes each distinct topology once, keeps
+// per-worker engines warm between jobs, and evaluates sweep-grid jobs
+// described by the unified, versioned sbgp.JobSpec wire format — the
+// same spec files cmd/experiments -job and cmd/bgpsim -job run
+// one-shot, with byte-identical results.
+//
+// Usage:
+//
+//	sbgpd [-addr 127.0.0.1:8379] [-data sbgpd-data]
+//
+// Jobs queue with priorities (higher first, FIFO within a priority)
+// and evaluate one at a time; every completed shard is durably
+// checkpointed under the data directory, so killing the daemon
+// mid-grid loses nothing — on restart, interrupted jobs resume from
+// their checkpoints and finish with bytes identical to an
+// uninterrupted run. See internal/service for the API:
+//
+//	curl -X POST localhost:8379/jobs -d '{"spec": {"version": 1, ...}}'
+//	curl localhost:8379/jobs/job-000000
+//	curl localhost:8379/jobs/job-000000/events        # SSE progress
+//	curl localhost:8379/jobs/job-000000/wait          # block until terminal
+//	curl localhost:8379/jobs/job-000000/result        # the grid JSON
+//	curl -X POST localhost:8379/jobs/job-000000/cancel
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: the running job
+// is interrupted (checkpoint intact, state still resumable) and the
+// job store is left ready for the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sbgp/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sbgpd: ")
+	addr := flag.String("addr", "127.0.0.1:8379", "listen address (use :0 for an ephemeral port)")
+	dataDir := flag.String("data", "sbgpd-data", "data directory (job store, checkpoints, results)")
+	flag.Parse()
+
+	srv, err := service.Open(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The resolved address on stdout lets scripts (and the CI smoke
+	// job) use -addr :0 and discover the port.
+	fmt.Printf("sbgpd listening on %s (data %s)\n", ln.Addr(), *dataDir)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	case err := <-errc:
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("stopped; queued and interrupted jobs will resume on restart")
+}

@@ -37,6 +37,23 @@
 // (scenario defaults: WithShardSize, WithCheckpoint, WithResume; the
 // CLIs expose the same via -full/-shards/-checkpoint/-resume.)
 //
+// # Job specs
+//
+// A whole sweep job — topology, models, local preference, deployments,
+// attack, pair selection, incremental mode, shard/checkpoint/worker
+// settings — serializes as one versioned value, JobSpec. FromJobSpec
+// turns a spec into a ready Scenario, Simulation.JobSpec returns the
+// canonical spec back (round-trip pinned by tests), and
+// Simulation.EvaluateJob runs the spec's grid through the sharded
+// evaluator with optional per-shard progress sinks and a warm
+// EnginePool. One spec file drives cmd/experiments -job, cmd/bgpsim
+// -job, and the resident daemon cmd/sbgpd identically — with
+// byte-identical output — and every legacy CLI flag spelling maps onto
+// a spec through LegacyFlags. The daemon (internal/service) adds a
+// priority job queue, SSE/long-poll progress, and per-job durable
+// checkpoints: killed mid-grid, it resumes on restart and reproduces
+// the uninterrupted bytes.
+//
 // Rollout-shaped work — nested deployments S₁ ⊂ S₂ ⊂ … — evaluates
 // incrementally by default: the scheduler orders sweeps chain-major
 // and walks each chain with Engine.RunDelta reusing the previous
@@ -108,6 +125,9 @@
 //	                   sharded full enumeration with checkpoint/resume,
 //	                   and JSON output
 //	internal/exp       one experiment per paper table/figure
+//	internal/service   the resident sweep daemon behind cmd/sbgpd: job
+//	                   store, priority queue, warm topology/engine
+//	                   caches, HTTP/JSON + SSE API
 //
 // The benchmarks in this directory regenerate every evaluation artifact;
 // see DESIGN.md for the experiment index E1–E27 and the design-choice

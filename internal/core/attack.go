@@ -199,10 +199,16 @@ func Attacks() []Attack {
 	return []Attack{OneHopHijack{}, NoAttack{}, PathPadding{Hops: 2}, OriginSpoof{}}
 }
 
+// attackChoices spells out every accepted -attack value, aliases
+// included, for error messages and flag help. One definition, so the
+// parser and its diagnostics cannot drift apart.
+var attackChoices = fmt.Sprintf(`"one-hop" (aliases "hijack", "default", ""), "none" (alias "no-attack"), "origin-spoof" (alias "spoof"), or "pad-K" with 1 ≤ K ≤ %d (e.g. "pad-3")`, MaxPadHops)
+
 // ParseAttack resolves a strategy name as accepted by -attack flags:
 // "one-hop" (aliases "hijack", "default", ""), "none" (alias
 // "no-attack"), "origin-spoof" (alias "spoof"), or "pad-K" for a K-hop
-// PathPadding (e.g. "pad-3").
+// PathPadding (e.g. "pad-3"). An unrecognized name yields an error
+// naming the offending token and every valid choice.
 func ParseAttack(name string) (Attack, error) {
 	switch name {
 	case "", "one-hop", "hijack", "default":
@@ -215,9 +221,10 @@ func ParseAttack(name string) (Attack, error) {
 	if rest, ok := strings.CutPrefix(name, "pad-"); ok {
 		k, err := strconv.Atoi(rest)
 		if err != nil || k < 1 || k > MaxPadHops {
-			return nil, fmt.Errorf("core: bad padding attack %q (want pad-K with 1 ≤ K ≤ %d)", name, MaxPadHops)
+			return nil, fmt.Errorf("core: bad padding attack %q: K must be an integer with 1 ≤ K ≤ %d (valid attacks are %s)",
+				name, MaxPadHops, attackChoices)
 		}
 		return PathPadding{Hops: k}, nil
 	}
-	return nil, fmt.Errorf("core: unknown attack %q (want one-hop, none, origin-spoof, or pad-K)", name)
+	return nil, fmt.Errorf("core: unknown attack %q (valid attacks are %s)", name, attackChoices)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"sbgp/internal/asgraph"
@@ -243,6 +244,35 @@ func TestParseAttack(t *testing.T) {
 		back, err := ParseAttack(atk.Name())
 		if err != nil || back.Name() != atk.Name() {
 			t.Errorf("attack %q does not round-trip: %v", atk.Name(), err)
+		}
+	}
+}
+
+// TestParseAttackErrorDiagnostics pins the parser's error contract: a
+// rejected value yields an error naming the offending token and every
+// valid choice (aliases included), so a daemon client or CLI user can
+// fix a typo'd spec from the message alone.
+func TestParseAttackErrorDiagnostics(t *testing.T) {
+	for _, tc := range []struct {
+		in       string
+		mentions []string
+	}{
+		{"smurf", []string{`"smurf"`, `"one-hop"`, `"hijack"`, `"none"`, `"no-attack"`, `"origin-spoof"`, `"spoof"`, `"pad-K"`}},
+		{"pad-0", []string{`"pad-0"`, "1 ≤ K", `"one-hop"`}},
+		{"pad-x", []string{`"pad-x"`, "integer", `"pad-K"`}},
+		{"pad-", []string{`"pad-"`, "integer"}},
+		{"pad-9999999999", []string{`"pad-9999999999"`, "1 ≤ K"}},
+		{"ONE-HOP", []string{`"ONE-HOP"`, `"one-hop"`}},
+	} {
+		_, err := ParseAttack(tc.in)
+		if err == nil {
+			t.Errorf("ParseAttack(%q) succeeded, want error", tc.in)
+			continue
+		}
+		for _, want := range tc.mentions {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("ParseAttack(%q) error %q does not mention %s", tc.in, err, want)
+			}
 		}
 	}
 }

@@ -23,25 +23,27 @@ import (
 	"sbgp/internal/core"
 )
 
-// Spec describes a deployment scenario declaratively.
+// Spec describes a deployment scenario declaratively. The JSON tags are
+// part of the sbgp.JobSpec wire format (a spec-based deployment entry
+// embeds this struct verbatim), so renaming a field is a format change.
 type Spec struct {
 	// NumTier1 secures the top NumTier1 Tier 1 ASes by customer degree.
-	NumTier1 int
+	NumTier1 int `json:"num_tier1,omitempty"`
 	// NumTier2 secures the top NumTier2 Tier 2 ASes by customer degree.
-	NumTier2 int
+	NumTier2 int `json:"num_tier2,omitempty"`
 	// CPs secures the given content-provider ASes.
-	CPs []asgraph.AS
+	CPs []asgraph.AS `json:"cps,omitempty"`
 	// IncludeStubs additionally secures every stub AS that has at least
 	// one provider among the ASes selected above (the "and all of their
 	// stubs" of Section 5.2.1).
-	IncludeStubs bool
+	IncludeStubs bool `json:"include_stubs,omitempty"`
 	// AllNonStubs secures every AS with at least one customer
 	// (Section 5.2.4's final scenario). It composes with the fields
 	// above (they become redundant except for CPs and stubs).
-	AllNonStubs bool
+	AllNonStubs bool `json:"all_non_stubs,omitempty"`
 	// SimplexStubs places stubs (wherever they are secured) in simplex
 	// mode rather than full S*BGP (Section 5.3.2).
-	SimplexStubs bool
+	SimplexStubs bool `json:"simplex_stubs,omitempty"`
 }
 
 // Build materializes the scenario on a classified graph.

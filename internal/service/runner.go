@@ -1,0 +1,251 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sbgp"
+)
+
+// runLoop is the single evaluator goroutine: it drains the queue in
+// priority order (FIFO within a priority) until the server closes.
+// Jobs evaluate one at a time — parallelism lives inside the
+// evaluation — so engine pools hand off cleanly between jobs.
+func (s *Server) runLoop() {
+	defer close(s.runnerDone)
+	for {
+		s.mu.Lock()
+		var j *job
+		for {
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			if j = s.pickLocked(); j != nil {
+				break
+			}
+			s.cond.Wait()
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j.State = StateRunning
+		j.Started = time.Now().UTC()
+		j.cancel = cancel
+		s.persistAndNotify(j)
+		s.mu.Unlock()
+
+		err := s.evaluate(ctx, j)
+		cancel()
+
+		s.mu.Lock()
+		j.cancel = nil
+		switch {
+		case err == nil:
+			j.State = StateDone
+			j.Finished = time.Now().UTC()
+		case j.cancelRequested && errors.Is(err, context.Canceled):
+			j.State = StateCancelled
+			j.Finished = time.Now().UTC()
+		case s.closed && errors.Is(err, context.Canceled):
+			// Shutdown, not failure: back to queued so the next Open
+			// resumes the job from its checkpoint.
+			j.State = StateQueued
+		default:
+			j.State = StateFailed
+			j.Error = err.Error()
+			j.Finished = time.Now().UTC()
+		}
+		s.persistAndNotify(j)
+		s.mu.Unlock()
+	}
+}
+
+// pickLocked returns the queued job with the highest priority (FIFO
+// within a priority), or nil.
+func (s *Server) pickLocked() *job {
+	var best *job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State != StateQueued {
+			continue
+		}
+		if best == nil || j.Priority > best.Priority ||
+			(j.Priority == best.Priority && j.seq < best.seq) {
+			best = j
+		}
+	}
+	return best
+}
+
+// evaluate runs one job through the shared FromJobSpec → Simulate →
+// EvaluateJob path against the warm topology cache and engine pool,
+// with the daemon's per-job checkpoint, and writes the result grid
+// atomically. It is the long call of the run loop; ctx aborts it.
+func (s *Server) evaluate(ctx context.Context, j *job) error {
+	s.mu.Lock()
+	spec := j.Spec
+	id := j.ID
+	s.mu.Unlock()
+
+	entry, key, err := s.topology(spec)
+	if err != nil {
+		return err
+	}
+	sc, err := sbgp.FromJobSpecOnGraph(spec, entry.g, entry.meta, sbgp.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	sim, err := sc.Simulate()
+	if err != nil {
+		return err
+	}
+	cells, shards, err := sim.JobGeometry()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	j.Cells, j.ShardsTotal, j.ShardsDone = cells, shards, 0
+	s.persistAndNotify(j)
+	s.mu.Unlock()
+
+	pool := s.pool(poolKey{topo: key, lpk: spec.LPK})
+	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{
+		Checkpoint: s.CheckpointPath(id),
+		Resume:     true, // fresh checkpoint = fresh run; restart = resume
+		Pool:       pool,
+		Sink: func(*sbgp.ShardPartial) error {
+			s.mu.Lock()
+			j.ShardsDone++
+			// Progress is broadcast but persisted lazily: the
+			// checkpoint, not this counter, is the durable record.
+			s.notifyLocked(j)
+			s.mu.Unlock()
+			return nil
+		},
+	})
+	pool.Release()
+	if err != nil {
+		return err
+	}
+	if err := writeResultAtomic(s.ResultPath(id), res); err != nil {
+		return err
+	}
+	// The grid is merged and durable; the checkpoint has served its
+	// purpose.
+	os.Remove(s.CheckpointPath(id))
+	return nil
+}
+
+// topology returns the warm (graph, meta) for a spec's topology
+// section, materializing and caching it on first use.
+func (s *Server) topology(spec *sbgp.JobSpec) (*topoEntry, topoKey, error) {
+	t := spec.Topology
+	key := topoKey{n: t.N, seed: t.Seed, graphFile: t.GraphFile, ixp: t.IXP}
+	s.mu.Lock()
+	entry := s.topos[key]
+	s.mu.Unlock()
+	if entry != nil {
+		return entry, key, nil
+	}
+	entry = &topoEntry{}
+	if t.GraphFile != "" {
+		f, err := os.Open(t.GraphFile)
+		if err != nil {
+			return nil, key, err
+		}
+		g, err := sbgp.ReadGraph(f)
+		f.Close()
+		if err != nil {
+			return nil, key, err
+		}
+		entry.g, entry.meta = g, &sbgp.TopologyMeta{}
+	} else {
+		g, meta, err := sbgp.GenerateTopology(sbgp.TopologyParams{N: t.N, Seed: t.Seed, SeedSet: true})
+		if err != nil {
+			return nil, key, err
+		}
+		entry.g, entry.meta = g, meta
+	}
+	s.mu.Lock()
+	if prior := s.topos[key]; prior != nil {
+		entry = prior // lost a benign race; keep the first
+	} else {
+		s.topos[key] = entry
+	}
+	s.mu.Unlock()
+	return entry, key, nil
+}
+
+// pool returns the engine pool for one (topology, local-preference)
+// pair, creating it on first use.
+func (s *Server) pool(key poolKey) *sbgp.EnginePool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.pools[key]
+	if p == nil {
+		p = sbgp.NewEnginePool()
+		s.pools[key] = p
+	}
+	return p
+}
+
+// loadJobRecord reads one persisted job record.
+func (s *Server) loadJobRecord(id string) (*Job, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, "jobs", id+".json"))
+	if err != nil {
+		return nil, err
+	}
+	var rec Job
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	if rec.ID != id {
+		return nil, fmt.Errorf("record names %q", rec.ID)
+	}
+	if rec.Spec == nil {
+		return nil, fmt.Errorf("record has no spec")
+	}
+	if err := rec.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}
+
+// writeFileAtomic writes v as JSON via a temp file + rename, so a
+// crash never leaves a half-written record.
+func writeFileAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// writeResultAtomic writes a result grid via temp file + rename, in
+// the exact bytes Result.WriteJSON produces (the byte-identity
+// artifact the lifecycle tests compare against one-shot runs).
+func writeResultAtomic(path string, res *sbgp.Result) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,546 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sbgp"
+)
+
+// smallSpec is a quick sampled grid: 288 cells across 18 shards.
+func smallSpec() *sbgp.JobSpec {
+	return &sbgp.JobSpec{
+		Name:        "small",
+		Topology:    sbgp.TopologySpec{N: 300, Seed: 7},
+		Deployments: []sbgp.JobDeployment{{Named: "t1t2"}},
+		Pairs:       sbgp.PairSpec{MaxM: 6, MaxD: 8},
+		ShardSize:   16,
+		Workers:     2,
+	}
+}
+
+// bigSpec is a full-enumeration grid with enough shards (hundreds)
+// that cancelling or restarting the daemon reliably lands mid-grid.
+func bigSpec() *sbgp.JobSpec {
+	return &sbgp.JobSpec{
+		Name:        "big",
+		Topology:    sbgp.TopologySpec{N: 200, Seed: 11},
+		Deployments: []sbgp.JobDeployment{{Named: "t1t2"}},
+		Pairs:       sbgp.PairSpec{Full: true},
+		ShardSize:   32,
+		Workers:     4,
+	}
+}
+
+// oneShotBytes evaluates a spec through the flat path a CLI -job run
+// uses (FromJobSpec → Simulate → EvaluateJob → WriteJSON) and returns
+// the result grid bytes.
+func oneShotBytes(t *testing.T, spec *sbgp.JobSpec) []byte {
+	t.Helper()
+	sc, err := sbgp.FromJobSpec(spec)
+	if err != nil {
+		t.Fatalf("FromJobSpec: %v", err)
+	}
+	sim, err := sc.Simulate()
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{})
+	if err != nil {
+		t.Fatalf("EvaluateJob: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// bigRefOnce caches the flat reference bytes for bigSpec so the cancel
+// and restart tests share one uninterrupted evaluation.
+var (
+	bigRefOnce  sync.Once
+	bigRefBytes []byte
+)
+
+func bigReference(t *testing.T) []byte {
+	t.Helper()
+	bigRefOnce.Do(func() { bigRefBytes = oneShotBytes(t, bigSpec()) })
+	if bigRefBytes == nil {
+		t.Fatal("reference evaluation failed in an earlier test")
+	}
+	return bigRefBytes
+}
+
+// waitFor subscribes to a job and blocks until pred holds, failing the
+// test if the job goes terminal first (unless pred accepts that) or
+// the deadline passes.
+func waitFor(t *testing.T, s *Server, id string, pred func(*Job) bool) *Job {
+	t.Helper()
+	wake, unsubscribe, ok := s.Subscribe(id)
+	if !ok {
+		t.Fatalf("Subscribe(%s): unknown job", id)
+	}
+	defer unsubscribe()
+	deadline := time.After(120 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			j, _ := s.Get(id)
+			t.Fatalf("timed out waiting on %s (state %+v)", id, j)
+		case <-wake:
+			j, ok := s.Get(id)
+			if !ok {
+				t.Fatalf("job %s disappeared", id)
+			}
+			if pred(j) {
+				return j
+			}
+			if j.State.Terminal() {
+				t.Fatalf("job %s terminal (%s, error %q) before condition held", id, j.State, j.Error)
+			}
+		}
+	}
+}
+
+func terminal(j *Job) bool { return j.State.Terminal() }
+
+func TestJobLifecycleByteIdentity(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	spec := smallSpec()
+	j, err := s.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateQueued || j.Submitted.IsZero() {
+		t.Fatalf("fresh job: %+v", j)
+	}
+
+	done := waitFor(t, s, j.ID, func(j *Job) bool { return j.State == StateDone })
+	if done.Cells == 0 || done.ShardsTotal == 0 || done.ShardsDone != done.ShardsTotal {
+		t.Fatalf("completed job progress: cells=%d shards=%d/%d",
+			done.Cells, done.ShardsDone, done.ShardsTotal)
+	}
+	if done.Started.IsZero() || done.Finished.IsZero() {
+		t.Fatalf("completed job timestamps: %+v", done)
+	}
+
+	got, err := os.ReadFile(s.ResultPath(j.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oneShotBytes(t, smallSpec()); !bytes.Equal(got, want) {
+		t.Fatalf("daemon result differs from one-shot evaluation (%d vs %d bytes)", len(got), len(want))
+	}
+	if _, err := os.Stat(s.CheckpointPath(j.ID)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not removed after completion: %v", err)
+	}
+
+	// Warm state is retained for the next job on this topology.
+	st := s.Stats()
+	if st.Topologies != 1 || st.Jobs[StateDone] != 1 {
+		t.Fatalf("stats after completion: %+v", st)
+	}
+	if st.WarmEngines == 0 {
+		t.Fatal("engine pool is cold after a completed job")
+	}
+}
+
+// countCheckpointShards returns the number of completed-shard records
+// in a checkpoint file (lines after the header).
+func countCheckpointShards(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read checkpoint: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 1 {
+		t.Fatalf("checkpoint %s is empty", path)
+	}
+	return len(lines) - 1
+}
+
+func TestCancelMidGridLeavesResumableCheckpoint(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	j, err := s.Submit(bigSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let a few shards land so the cancel is genuinely mid-grid.
+	waitFor(t, s, j.ID, func(j *Job) bool {
+		return j.State == StateRunning && j.ShardsDone >= 2
+	})
+	if _, ok := s.Cancel(j.ID); !ok {
+		t.Fatal("Cancel: unknown job")
+	}
+	fin := waitFor(t, s, j.ID, terminal)
+	if fin.State != StateCancelled {
+		t.Fatalf("state after cancel: %s (error %q)", fin.State, fin.Error)
+	}
+	if fin.ShardsDone >= fin.ShardsTotal {
+		t.Fatalf("cancel landed after the grid finished: %d/%d shards", fin.ShardsDone, fin.ShardsTotal)
+	}
+
+	// The checkpoint survives with the completed shards, and a one-shot
+	// run resuming from it produces bytes identical to an uninterrupted
+	// flat evaluation of the same spec.
+	cp := s.CheckpointPath(j.ID)
+	if n := countCheckpointShards(t, cp); n < 1 {
+		t.Fatalf("cancelled checkpoint has %d shard records", n)
+	}
+	sc, err := sbgp.FromJobSpec(bigSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sc.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{Checkpoint: cp, Resume: true})
+	if err != nil {
+		t.Fatalf("resume from cancelled checkpoint: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), bigReference(t)) {
+		t.Fatal("resumed result differs from uninterrupted one-shot run")
+	}
+}
+
+func TestRestartMidJobResumesByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s1.Submit(bigSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := waitFor(t, s1, j.ID, func(j *Job) bool {
+		return j.State == StateRunning && j.ShardsDone >= 2
+	})
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shutdown left the job non-terminal on disk with its
+	// checkpoint intact.
+	rec, err := s1.loadJobRecord(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateQueued {
+		t.Fatalf("persisted state after shutdown: %s", rec.State)
+	}
+	ckptShards := countCheckpointShards(t, s1.CheckpointPath(j.ID))
+	if ckptShards < 1 {
+		t.Fatalf("checkpoint after shutdown has %d shard records", ckptShards)
+	}
+	if ckptShards >= mid.ShardsTotal {
+		t.Fatalf("job finished before shutdown: %d/%d shards", ckptShards, mid.ShardsTotal)
+	}
+
+	// A fresh daemon over the same data directory requeues the job,
+	// resumes it from the checkpoint, and finishes with bytes identical
+	// to a run that was never interrupted.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	fin := waitFor(t, s2, j.ID, terminal)
+	if fin.State != StateDone {
+		t.Fatalf("state after restart: %s (error %q)", fin.State, fin.Error)
+	}
+	if fin.ShardsDone != fin.ShardsTotal {
+		t.Fatalf("resumed job progress: %d/%d shards", fin.ShardsDone, fin.ShardsTotal)
+	}
+	got, err := os.ReadFile(s2.ResultPath(j.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, bigReference(t)) {
+		t.Fatal("restart-resumed result differs from uninterrupted one-shot run")
+	}
+}
+
+func TestPriorityAndCancelQueued(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// While the first job runs, the rest queue up; the high-priority
+	// one jumps ahead and a queued one cancels instantly.
+	first, err := s.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := s.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := s.Submit(smallSpec(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if c, ok := s.Cancel(victim.ID); !ok || c.State != StateCancelled {
+		t.Fatalf("cancel queued job: ok=%v state=%v", ok, c)
+	}
+
+	waitFor(t, s, first.ID, terminal)
+	lowFin := waitFor(t, s, low.ID, terminal)
+	highFin := waitFor(t, s, high.ID, terminal)
+	if lowFin.State != StateDone || highFin.State != StateDone {
+		t.Fatalf("states: low=%s high=%s", lowFin.State, highFin.State)
+	}
+	if !highFin.Started.Before(lowFin.Started) {
+		t.Fatalf("priority 5 job started %v, after priority 0 job at %v",
+			highFin.Started, lowFin.Started)
+	}
+	if vc, _ := s.Get(victim.ID); vc.State != StateCancelled {
+		t.Fatalf("victim state: %s", vc.State)
+	}
+}
+
+func TestSubmitValidatesAndStripsCheckpoint(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Submit(&sbgp.JobSpec{Models: []int{9}}, 0); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	spec := smallSpec()
+	spec.Checkpoint = "/tmp/elsewhere.ckpt"
+	spec.Resume = true
+	j, err := s.Submit(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Spec.Checkpoint != "" || j.Spec.Resume {
+		t.Fatalf("daemon kept caller checkpoint settings: %+v", j.Spec)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(smallSpec(), 0); err == nil {
+		t.Fatal("Submit after Close accepted")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+
+	if resp, _ := get("/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/jobs", `{"spec": {"version": 1}, "bogus": true}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown submit field: %d", resp.StatusCode)
+	}
+	if resp, _ := post("/jobs", `{"spec": {"version": 1, "models": [9]}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d", resp.StatusCode)
+	}
+	if resp, _ := get("/jobs/job-999999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d", resp.StatusCode)
+	}
+
+	specJSON, err := json.Marshal(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := fmt.Sprintf(`{"spec": %s, "priority": 1}`, specJSON)
+
+	// Two submissions: the second queues behind the first, so its
+	// result endpoint answers 409 before it is done.
+	resp, data := post("/jobs", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %d %s", resp.StatusCode, data)
+	}
+	var j1 Job
+	if err := json.Unmarshal(data, &j1); err != nil {
+		t.Fatal(err)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/jobs/"+j1.ID {
+		t.Fatalf("Location: %q", loc)
+	}
+	if j1.Priority != 1 || j1.Spec == nil {
+		t.Fatalf("submitted job: %+v", j1)
+	}
+	resp, data = post("/jobs", body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("second submit: %d %s", resp.StatusCode, data)
+	}
+	var j2 Job
+	if err := json.Unmarshal(data, &j2); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := get("/jobs/" + j2.ID + "/result"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result before done: %d", resp.StatusCode)
+	}
+
+	// Long-poll both to completion; then result serves the grid bytes.
+	for _, id := range []string{j1.ID, j2.ID} {
+		resp, data = get("/jobs/" + id + "/wait")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("wait %s: %d %s", id, resp.StatusCode, data)
+		}
+		var fin Job
+		if err := json.Unmarshal(data, &fin); err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != StateDone {
+			t.Fatalf("wait %s: state %s error %q", id, fin.State, fin.Error)
+		}
+	}
+	resp, data = get("/jobs/" + j1.ID + "/result")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d", resp.StatusCode)
+	}
+	if want := oneShotBytes(t, smallSpec()); !bytes.Equal(data, want) {
+		t.Fatal("HTTP result differs from one-shot evaluation")
+	}
+
+	// The SSE stream of a finished job delivers its terminal snapshot.
+	resp, data = get("/jobs/" + j1.ID + "/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type: %q", ct)
+	}
+	if !strings.Contains(string(data), `"state":"done"`) {
+		t.Fatalf("events stream missing terminal snapshot: %q", data)
+	}
+
+	// Cancelling a terminal job is an idempotent no-op.
+	resp, data = post("/jobs/"+j1.ID+"/cancel", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel done job: %d", resp.StatusCode)
+	}
+	var c Job
+	if err := json.Unmarshal(data, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.State != StateDone {
+		t.Fatalf("cancel of done job changed state: %s", c.State)
+	}
+
+	resp, data = get("/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var list []Job
+	if err := json.Unmarshal(data, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("list has %d jobs", len(list))
+	}
+
+	resp, data = get("/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs[StateDone] != 2 || st.Topologies != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+}
+
+// TestHistorySurvivesRestart pins that terminal jobs reload as history
+// and IDs keep counting from where the previous daemon stopped.
+func TestHistorySurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s1.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, s1, j.ID, terminal)
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	old, ok := s2.Get(j.ID)
+	if !ok || old.State != StateDone {
+		t.Fatalf("history after restart: ok=%v job=%+v", ok, old)
+	}
+	next, err := s2.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID == j.ID {
+		t.Fatalf("restarted daemon reused job ID %s", next.ID)
+	}
+	waitFor(t, s2, next.ID, terminal)
+}

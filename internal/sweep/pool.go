@@ -1,0 +1,64 @@
+package sweep
+
+import "sync"
+
+// EnginePool recycles the per-worker engine state of grid evaluation
+// across evaluations, so a resident service re-running grids on the
+// same topology (cmd/sbgpd) skips engine construction — stage-plan
+// compilation plus the per-AS state slabs — on every job instead of
+// paying it per evaluation.
+//
+// A pool is only valid for grids sharing one (graph, local-preference)
+// pair: engines are built for a specific topology and LP variant, and
+// the cached state does not re-check either, so callers must key pools
+// by (topology, LP) — the service keys its cache exactly that way.
+// Results are unaffected by pooling: engines fully reset per run, so a
+// pooled evaluation is byte-identical to a fresh one.
+//
+// get hands states out under a mutex and records the loan; Release
+// returns every outstanding loan to the free list, and must only be
+// called after the evaluation using the pool has returned (worker
+// goroutines hold their state until then). A pool may be shared by
+// concurrent evaluations of the same (graph, LP) — each worker gets a
+// distinct state — but Release then returns the union of their loans,
+// so serialize Release with evaluation completion.
+type EnginePool struct {
+	mu     sync.Mutex
+	free   []*workerState
+	loaned []*workerState
+}
+
+// NewEnginePool returns an empty pool.
+func NewEnginePool() *EnginePool { return &EnginePool{} }
+
+func (p *EnginePool) get() *workerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var ws *workerState
+	if n := len(p.free); n > 0 {
+		ws = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		ws = &workerState{}
+	}
+	p.loaned = append(p.loaned, ws)
+	return ws
+}
+
+// Release returns every state handed out since the last Release to the
+// free list. Call it once the evaluation that used the pool has
+// returned.
+func (p *EnginePool) Release() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, p.loaned...)
+	p.loaned = nil
+}
+
+// Size reports how many worker states the pool currently retains
+// (free + loaned) — warm-engine accounting for status endpoints.
+func (p *EnginePool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free) + len(p.loaned)
+}

@@ -72,6 +72,17 @@ func numShards(cells, shardSize int) int {
 	return (cells + shardSize - 1) / shardSize
 }
 
+// NumShards is the exported shard-count rule: how many shards a cell
+// space of the given size is cut into (shardSize ≤ 0 means
+// DefaultShardSize). Progress reporting (the service's shards_done /
+// shards_total) divides by it.
+func NumShards(cells, shardSize int) int {
+	if shardSize <= 0 {
+		shardSize = DefaultShardSize
+	}
+	return numShards(cells, shardSize)
+}
+
 // Fingerprint is a stable 64-bit digest of everything that shapes the
 // grid's cell space, its scheduled order, and per-cell outcomes:
 // topology size, policy variant, attack, axes (including deployment
@@ -262,45 +273,44 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 	defer abort()
 	var mu sync.Mutex
 	var sinkErr error
-	err = runner.ForEach(ctx, len(pending), gr.Workers, func() *workerState {
-		return &workerState{}
-	}, func(ws *workerState, pi int) {
-		s := pending[pi]
-		start := s * size
-		end := start + size
-		if end > ax.cells {
-			end = ax.cells
-		}
-		p, ok := gr.evaluateShardPartial(ctx, g, ws, sched, h, s, start, end)
-		if !ok {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		// A shard that completed only after cancellation is discarded:
-		// once ctx.Err() is set, neither the checkpoint nor the sink may
-		// observe another partial (the shard simply re-runs on resume).
-		// Checked under mu, so a sink that cancels the context is
-		// guaranteed to never be called again.
-		if sinkErr != nil || ctx.Err() != nil {
-			return
-		}
-		if cp != nil {
-			if err := cp.append(p); err != nil {
-				sinkErr = err
-				abort()
+	err = runner.ForEach(ctx, len(pending), gr.Workers, gr.newWorkerState,
+		func(ws *workerState, pi int) {
+			s := pending[pi]
+			start := s * size
+			end := start + size
+			if end > ax.cells {
+				end = ax.cells
+			}
+			p, ok := gr.evaluateShardPartial(ctx, g, ws, sched, h, s, start, end)
+			if !ok {
 				return
 			}
-		}
-		if opts.Sink != nil {
-			if err := opts.Sink(p); err != nil {
-				sinkErr = err
-				abort()
+			mu.Lock()
+			defer mu.Unlock()
+			// A shard that completed only after cancellation is discarded:
+			// once ctx.Err() is set, neither the checkpoint nor the sink may
+			// observe another partial (the shard simply re-runs on resume).
+			// Checked under mu, so a sink that cancels the context is
+			// guaranteed to never be called again.
+			if sinkErr != nil || ctx.Err() != nil {
 				return
 			}
-		}
-		partials[s] = p
-	})
+			if cp != nil {
+				if err := cp.append(p); err != nil {
+					sinkErr = err
+					abort()
+					return
+				}
+			}
+			if opts.Sink != nil {
+				if err := opts.Sink(p); err != nil {
+					sinkErr = err
+					abort()
+					return
+				}
+			}
+			partials[s] = p
+		})
 	if sinkErr != nil {
 		return nil, sinkErr
 	}

@@ -69,7 +69,8 @@ func (m IncrementalMode) String() string {
 // ParseIncrementalMode resolves an -incremental flag value: "auto" (or
 // empty), "on" (aliases "true", "1", "yes"), or "off" (aliases "false",
 // "0", "no"). The boolean aliases keep pre-tri-state command lines
-// working.
+// working. An unrecognized value yields an error naming the offending
+// token and every valid spelling.
 func ParseIncrementalMode(s string) (IncrementalMode, error) {
 	switch strings.ToLower(s) {
 	case "", "auto":
@@ -79,7 +80,7 @@ func ParseIncrementalMode(s string) (IncrementalMode, error) {
 	case "off", "false", "0", "no":
 		return IncrementalOff, nil
 	}
-	return 0, fmt.Errorf("sweep: unknown incremental mode %q (want auto, on, or off)", s)
+	return 0, fmt.Errorf(`sweep: unknown incremental mode %q (valid modes are "auto" (alias ""), "on" (aliases "true", "1", "yes"), or "off" (aliases "false", "0", "no"))`, s)
 }
 
 // Deployment is one named point on the deployment axis. A nil Dep is
@@ -119,6 +120,13 @@ type Grid struct {
 
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
 	Workers int
+
+	// Pool, when non-nil, draws per-worker engine state from an
+	// EnginePool instead of constructing it fresh — the warm-engine hook
+	// of the resident service. The pool must belong to this grid's
+	// (graph, LP) pair; see EnginePool. Results are identical with or
+	// without a pool.
+	Pool *EnginePool
 }
 
 // Cell is the aggregate for one (deployment, model) pair over all
@@ -266,6 +274,26 @@ func (ws *workerState) engine(g *asgraph.Graph, model policy.Model, lp policy.Lo
 	return e
 }
 
+// newWorkerState is the worker-state factory shared by both evaluators:
+// fresh scratch, or a recycled one when the grid carries an EnginePool.
+func (gr *Grid) newWorkerState() *workerState {
+	if gr.Pool != nil {
+		return gr.Pool.get()
+	}
+	return &workerState{}
+}
+
+// CellCount validates the grid and returns the size of its flattened
+// (deployment × model × destination × attacker) cell space — with
+// NumShards, the denominator of sharded progress reporting.
+func (gr *Grid) CellCount() (int, error) {
+	ax, err := gr.expand()
+	if err != nil {
+		return 0, err
+	}
+	return ax.cells, nil
+}
+
 // Evaluate expands and evaluates the grid on g.
 func (gr *Grid) Evaluate(g *asgraph.Graph) (*Result, error) {
 	return gr.EvaluateContext(context.Background(), g)
@@ -290,17 +318,16 @@ func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result,
 	// legacy scheduling — byte-identical results.
 	sched := newSchedule(gr, ax)
 	acc := make([]destAcc, ax.tasks)
-	err = runner.ForEach(ctx, sched.numRanges(), gr.Workers, func() *workerState {
-		return &workerState{}
-	}, func(ws *workerState, ri int) {
-		start, end := sched.rangeAt(ri)
-		gr.evaluateRange(ctx, g, ws, sched, nil, start, end, func(ti, lo, hi int) {
-			a := &acc[ti]
-			a.lo += lo
-			a.hi += hi
-			a.pairs++
+	err = runner.ForEach(ctx, sched.numRanges(), gr.Workers, gr.newWorkerState,
+		func(ws *workerState, ri int) {
+			start, end := sched.rangeAt(ri)
+			gr.evaluateRange(ctx, g, ws, sched, nil, start, end, func(ti, lo, hi int) {
+				a := &acc[ti]
+				a.lo += lo
+				a.hi += hi
+				a.pairs++
+			})
 		})
-	})
 	if err != nil {
 		return nil, err
 	}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -188,5 +190,41 @@ func TestSweepDefaultsAndErrors(t *testing.T) {
 	}
 	if _, err := bad.Evaluate(g); err == nil {
 		t.Error("duplicate deployment name must fail")
+	}
+}
+
+// TestParseIncrementalMode covers the tri-state flag syntax both ways,
+// and pins the error contract: a rejected value yields an error naming
+// the offending token and every valid spelling (aliases included).
+func TestParseIncrementalMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want IncrementalMode
+	}{
+		{"", IncrementalAuto}, {"auto", IncrementalAuto}, {"AUTO", IncrementalAuto},
+		{"on", IncrementalOn}, {"true", IncrementalOn}, {"1", IncrementalOn}, {"yes", IncrementalOn},
+		{"off", IncrementalOff}, {"false", IncrementalOff}, {"0", IncrementalOff}, {"No", IncrementalOff},
+	} {
+		m, err := ParseIncrementalMode(tc.in)
+		if err != nil {
+			t.Errorf("ParseIncrementalMode(%q): %v", tc.in, err)
+			continue
+		}
+		if m != tc.want {
+			t.Errorf("ParseIncrementalMode(%q) = %v, want %v", tc.in, m, tc.want)
+		}
+	}
+	for _, bad := range []string{"maybe", "2", "enabled", "on "} {
+		_, err := ParseIncrementalMode(bad)
+		if err == nil {
+			t.Errorf("ParseIncrementalMode(%q) succeeded, want error", bad)
+			continue
+		}
+		msg := err.Error()
+		for _, want := range []string{fmt.Sprintf("%q", bad), `"auto"`, `"on"`, `"true"`, `"yes"`, `"off"`, `"false"`, `"no"`} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("ParseIncrementalMode(%q) error %q does not mention %s", bad, msg, want)
+			}
+		}
 	}
 }

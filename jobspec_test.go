@@ -1,0 +1,305 @@
+package sbgp_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sbgp"
+)
+
+// sampleSpec is a spec exercising most wire fields at a size the tests
+// can afford to Simulate.
+func sampleSpec() *sbgp.JobSpec {
+	return &sbgp.JobSpec{
+		Name:     "sample",
+		Topology: sbgp.TopologySpec{N: 300, Seed: 7},
+		Models:   []int{2, 3},
+		LPK:      2,
+		Deployments: []sbgp.JobDeployment{
+			{Named: "t1t2"},
+			{Name: "everyone", Named: "nonstubs"},
+			{Name: "handpicked", Spec: &sbgp.DeploymentSpec{NumTier2: 5, IncludeStubs: true}},
+		},
+		Attack:      "pad-2",
+		Pairs:       sbgp.PairSpec{MaxM: 6, MaxD: 8},
+		Incremental: "on",
+		ShardSize:   64,
+		Workers:     2,
+	}
+}
+
+// TestJobSpecJSONRoundTrip pins the wire format: encode → strict decode
+// → canonical equality, for both a sampled and a full-enumeration spec.
+func TestJobSpecJSONRoundTrip(t *testing.T) {
+	specs := map[string]*sbgp.JobSpec{
+		"sampled": sampleSpec(),
+		"full": {
+			Topology: sbgp.TopologySpec{GraphFile: "testdata/g.txt"},
+			Pairs:    sbgp.PairSpec{Full: true},
+			Attack:   "none",
+		},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := spec.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sbgp.ReadJobSpec(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadJobSpec: %v\n%s", err, buf.String())
+			}
+			if !reflect.DeepEqual(got.Canonical(), spec.Canonical()) {
+				t.Errorf("round trip changed the spec:\n got %+v\nwant %+v", got.Canonical(), spec.Canonical())
+			}
+		})
+	}
+}
+
+// TestJobSpecStrictDecode pins the strict wire contract: unknown
+// fields, trailing data, and invalid specs all fail loudly.
+func TestJobSpecStrictDecode(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unknown field", `{"version":1,"topology":{"n":100,"seed":1},"pairs":{},"shards":9}`, "unknown field"},
+		{"trailing data", `{"version":1,"topology":{"n":100,"seed":1},"pairs":{}} {}`, "trailing data"},
+		{"future version", `{"version":99,"topology":{"n":100,"seed":1},"pairs":{}}`, "version 99"},
+		{"both sources", `{"version":1,"topology":{"n":100,"seed":1,"graph_file":"g"},"pairs":{}}`, "both"},
+		{"full with caps", `{"version":1,"topology":{"seed":1},"pairs":{"full":true,"max_m":3}}`, "max_m"},
+		{"bad model", `{"version":1,"topology":{"seed":1},"models":[4],"pairs":{}}`, "model 4"},
+		{"dup model", `{"version":1,"topology":{"seed":1},"models":[2,2],"pairs":{}}`, "duplicate"},
+		{"bad named", `{"version":1,"topology":{"seed":1},"deployments":[{"named":"tier9"}],"pairs":{}}`, `"tier9"`},
+		{"baseline clash", `{"version":1,"topology":{"seed":1},"deployments":[{"name":"baseline","named":"t2"}],"pairs":{}}`, "duplicate"},
+		{"nameless spec", `{"version":1,"topology":{"seed":1},"deployments":[{"spec":{"num_tier2":5}}],"pairs":{}}`, "no name"},
+		{"named and spec", `{"version":1,"topology":{"seed":1},"deployments":[{"named":"t2","spec":{}}],"pairs":{}}`, "both"},
+		{"bad attack", `{"version":1,"topology":{"seed":1},"attack":"teleport","pairs":{}}`, `"teleport"`},
+		{"bad incremental", `{"version":1,"topology":{"seed":1},"incremental":"maybe","pairs":{}}`, `"maybe"`},
+		{"resume sans checkpoint", `{"version":1,"topology":{"seed":1},"pairs":{},"resume":true}`, "checkpoint"},
+		{"ixp on file", `{"version":1,"topology":{"graph_file":"g","ixp":true},"pairs":{}}`, "ixp"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := sbgp.ReadJobSpec(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("decode accepted %s", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestJobSpecCanonicalDefaults pins the default resolution: a minimal
+// spec canonicalizes to the documented defaults, and version 0 means
+// current.
+func TestJobSpecCanonicalDefaults(t *testing.T) {
+	got, err := sbgp.ReadJobSpec(strings.NewReader(`{"topology":{"seed":1},"pairs":{},"attack":"hijack","incremental":"true"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := got.Canonical()
+	if c.Version != sbgp.JobSpecVersion {
+		t.Errorf("canonical version = %d, want %d", c.Version, sbgp.JobSpecVersion)
+	}
+	if c.Topology.N != 4000 {
+		t.Errorf("canonical topology size = %d, want 4000", c.Topology.N)
+	}
+	if !reflect.DeepEqual(c.Models, []int{1, 2, 3}) {
+		t.Errorf("canonical models = %v, want [1 2 3]", c.Models)
+	}
+	if c.Attack != "one-hop" || c.Incremental != "on" {
+		t.Errorf("canonical aliases = (%q, %q), want (one-hop, on)", c.Attack, c.Incremental)
+	}
+	if c.Pairs.MaxM != sbgp.DefaultMaxM || c.Pairs.MaxD != sbgp.DefaultMaxD {
+		t.Errorf("canonical pair caps = (%d, %d), want (%d, %d)",
+			c.Pairs.MaxM, c.Pairs.MaxD, sbgp.DefaultMaxM, sbgp.DefaultMaxD)
+	}
+}
+
+// TestFromJobSpecRoundTrip pins the spec ↔ scenario correspondence:
+// FromJobSpec(spec).Simulate().JobSpec() returns the canonical form of
+// spec, so the wire format and the facade options cannot drift.
+func TestFromJobSpecRoundTrip(t *testing.T) {
+	spec := sampleSpec()
+	sc, err := sbgp.FromJobSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sc.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.JobSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec.Canonical()) {
+		g, _ := json.Marshal(got)
+		w, _ := json.Marshal(spec.Canonical())
+		t.Errorf("spec → scenario → spec changed the job:\n got %s\nwant %s", g, w)
+	}
+	// Canonical is idempotent, so re-exporting cannot drift either.
+	if !reflect.DeepEqual(got.Canonical(), got) {
+		t.Error("exported spec is not canonical")
+	}
+}
+
+// TestJobSpecNotRepresentable pins the deferred-error contract: a
+// scenario using capabilities the wire format cannot carry still
+// Simulates, and only JobSpec() fails, with a descriptive error.
+func TestJobSpecNotRepresentable(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  sbgp.Option
+		want string
+	}{
+		{"in-memory graph", sbgp.WithGraph(lineGraph(t, 4), nil), "in-memory"},
+		{"exotic params", sbgp.WithTopologyParams(sbgp.TopologyParams{N: 200, Seed: 1, SeedSet: true, NumIXPs: 2}), "generator parameters"},
+		{"resolved tiebreak", sbgp.WithResolvedTiebreak(), "tiebreak"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := []sbgp.Option{tc.opt}
+			if tc.name != "in-memory graph" && tc.name != "exotic params" {
+				opts = append(opts, sbgp.WithGeneratedTopology(200, 1))
+			}
+			sim, err := sbgp.NewScenario(opts...).Simulate()
+			if err != nil {
+				t.Fatalf("Simulate: %v", err)
+			}
+			if _, err := sim.JobSpec(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("JobSpec error = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// lineGraph builds a provider chain 0 → 1 → ... → n-1 (0 on top).
+func lineGraph(t *testing.T, n int) *sbgp.Graph {
+	t.Helper()
+	b := sbgp.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddProviderCustomer(sbgp.AS(i), sbgp.AS(i+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLegacyFlagsJobSpec pins the one conversion helper both CLIs
+// share: the legacy flag surface and the equivalent hand-written spec
+// produce identical canonical jobs, for both sampled and full
+// spellings.
+func TestLegacyFlagsJobSpec(t *testing.T) {
+	lf := sbgp.LegacyFlags{
+		N: 300, Seed: 7,
+		Deployments: []string{"t1t2", "none", "t2"},
+		Attack:      "spoof",
+		Incremental: "auto",
+		MaxM:        6, MaxD: 8,
+		ShardSize: 64,
+		Workers:   2,
+	}
+	got, err := lf.JobSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (&sbgp.JobSpec{
+		Topology: sbgp.TopologySpec{N: 300, Seed: 7},
+		Deployments: []sbgp.JobDeployment{
+			{Named: "t1t2"}, {Named: "t2"},
+		},
+		Attack:    "origin-spoof",
+		Pairs:     sbgp.PairSpec{MaxM: 6, MaxD: 8},
+		ShardSize: 64,
+		Workers:   2,
+	}).Canonical()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("legacy conversion:\n got %+v\nwant %+v", got, want)
+	}
+
+	full := sbgp.LegacyFlags{N: 300, Seed: 7, Full: true, MaxM: 24, MaxD: 32}
+	gotFull, err := full.JobSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotFull.Pairs.Full || gotFull.Pairs.MaxM != 0 || gotFull.Pairs.MaxD != 0 {
+		t.Errorf("full conversion kept sampling caps: %+v", gotFull.Pairs)
+	}
+}
+
+// TestEvaluateJobMatchesSweep pins the unified evaluation path: a job
+// evaluated via EvaluateJob (with and without a warm EnginePool, with
+// and without a checkpoint) serializes byte-identically to the plain
+// Sweep over the same pairs.
+func TestEvaluateJobMatchesSweep(t *testing.T) {
+	spec := sampleSpec()
+	sc, err := sbgp.FromJobSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := sc.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, ds := sim.JobPairs()
+	want, err := sim.Sweep(ms, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := sbgp.NewEnginePool()
+	for round := 0; round < 2; round++ {
+		got, err := sim.EvaluateJob(sbgp.JobEvalOptions{Pool: pool})
+		pool.Release()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("round %d: EvaluateJob result differs from Sweep:\n got %s\nwant %s", round, gotJSON, wantJSON)
+		}
+	}
+	if pool.Size() == 0 {
+		t.Error("engine pool retained no worker states")
+	}
+
+	cp := filepath.Join(t.TempDir(), "job.ckpt")
+	shards := 0
+	got, err := sim.EvaluateJob(sbgp.JobEvalOptions{
+		Checkpoint: cp,
+		Sink:       func(*sbgp.ShardPartial) error { shards++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("checkpointed EvaluateJob differs from Sweep:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	cells, wantShards, err := sim.JobGeometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells <= 0 || shards != wantShards {
+		t.Errorf("geometry: saw %d shards over %d cells, JobGeometry says %d", shards, cells, wantShards)
+	}
+}

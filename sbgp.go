@@ -393,6 +393,20 @@ func EvaluateGridSharded(ctx context.Context, gr *Grid, g *Graph, opts ShardOpti
 	return gr.EvaluateSharded(ctx, g, opts)
 }
 
+// EnginePool recycles per-worker engine state across grid evaluations
+// sharing one (topology, local-preference) pair — the warm-engine cache
+// behind the resident daemon. Results are byte-identical with or
+// without pooling.
+type EnginePool = sweep.EnginePool
+
+// NewEnginePool returns an empty engine pool.
+func NewEnginePool() *EnginePool { return sweep.NewEnginePool() }
+
+// NumShards is the shard-count rule of the sharded evaluator: how many
+// shards a cell space of the given size is cut into (shardSize ≤ 0
+// means DefaultShardSize).
+func NumShards(cells, shardSize int) int { return sweep.NumShards(cells, shardSize) }
+
 // AllASes returns the full population 0..n-1, the destination set of a
 // full |V|² enumeration.
 func AllASes(n int) []AS { return runner.AllASes(n) }

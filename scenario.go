@@ -16,6 +16,8 @@ import (
 // topology, security 3rd, the S = ∅ baseline, and the paper's one-hop
 // hijack.
 type Scenario struct {
+	name string
+
 	genParams *TopologyParams
 	graphPath string
 	graph     *Graph
@@ -33,6 +35,8 @@ type Scenario struct {
 	ctx         context.Context
 	resolve     bool
 	incremental IncrementalMode
+
+	pairs PairSpec
 
 	shardSize  int
 	checkpoint string
@@ -172,6 +176,35 @@ func WithNamedDeployment(name string) Option {
 	}
 }
 
+// WithNamedDeploymentAs is WithNamedDeployment under an explicit
+// display name: the standard scenario named (one of DeploymentNames
+// except "none") joins the axis as name. Job specs use it to carry
+// renamed standard deployments.
+func WithNamedDeploymentAs(name, named string) Option {
+	return func(sc *Scenario) {
+		if name == "" {
+			name = named
+		}
+		sc.deployments = append(sc.deployments, scenarioDeployment{name: name, named: named})
+	}
+}
+
+// WithFullEnumeration sets the scenario's pair policy to the paper's
+// full enumeration — every non-stub attacker × every destination — as
+// used by EvaluateJob and JobPairs. Explicit pair sets passed to Sweep
+// are unaffected.
+func WithFullEnumeration() Option {
+	return func(sc *Scenario) { sc.pairs = PairSpec{Full: true} }
+}
+
+// WithPairSampling sets the scenario's pair policy to a deterministic
+// sample of at most maxM attackers × maxD destinations (0 means
+// DefaultMaxM / DefaultMaxD) — the default policy, at the CLIs'
+// experiment scale.
+func WithPairSampling(maxM, maxD int) Option {
+	return func(sc *Scenario) { sc.pairs = PairSpec{MaxM: maxM, MaxD: maxD} }
+}
+
 // WithAttack selects the threat-model strategy (default: the paper's
 // one-hop "m, d" hijack).
 func WithAttack(a Attack) Option {
@@ -294,10 +327,12 @@ func (sc *Scenario) Simulate() (*Simulation, error) {
 		attack: sc.attack, workers: sc.workers, ctx: sc.ctx,
 		resolve:     sc.resolve,
 		incremental: sc.incremental,
+		pairs:       sc.pairs,
 		shardSize:   sc.shardSize,
 		checkpoint:  sc.checkpoint,
 		resume:      sc.resume,
 	}
+	sim.jobSpec, sim.jobSpecErr = jobSpecOf(sc)
 	seen := map[string]bool{"baseline": true}
 	for _, sd := range sc.deployments {
 		if sd.name == "" || seen[sd.name] {
@@ -309,6 +344,15 @@ func (sc *Scenario) Simulate() (*Simulation, error) {
 		case sd.prebuilt != nil:
 			dep = sd.prebuilt
 		case sd.spec != nil:
+			// Declarative specs can arrive from untrusted job JSON
+			// (the daemon); range-check CP indices here rather than
+			// panicking inside the deployment builder.
+			for _, cp := range sd.spec.CPs {
+				if int(cp) < 0 || int(cp) >= g.N() {
+					return nil, fmt.Errorf("sbgp: deployment %q: content provider AS%d out of range [0,%d)",
+						sd.name, cp, g.N())
+				}
+			}
 			dep = BuildDeployment(g, tiers, *sd.spec)
 		default:
 			spec, err := namedDeploymentSpec(sd.named, meta)

@@ -1,0 +1,60 @@
+#!/bin/sh
+# Endpoint smoke for the resident daemon: build sbgpd, start it on an
+# ephemeral port, submit a small headline grid job over HTTP, wait for
+# completion, fetch the result grid, and shut down cleanly.
+set -eu
+
+workdir=$(mktemp -d)
+pid=
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/sbgpd" ./cmd/sbgpd
+
+"$workdir/sbgpd" -addr 127.0.0.1:0 -data "$workdir/data" >"$workdir/log" 2>&1 &
+pid=$!
+
+# The daemon prints its resolved address on stdout; wait for it.
+addr=
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^sbgpd listening on \([^ ]*\).*/\1/p' "$workdir/log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "sbgpd exited early:"; cat "$workdir/log"; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "sbgpd did not report an address:"; cat "$workdir/log"; exit 1; }
+
+cat >"$workdir/job.json" <<'JSON'
+{
+  "spec": {
+    "version": 1,
+    "topology": {"n": 400, "seed": 1},
+    "deployments": [{"named": "t1t2"}, {"named": "t2"}, {"named": "nonstubs"}],
+    "pairs": {"max_m": 6, "max_d": 8},
+    "shard_size": 64
+  }
+}
+JSON
+
+id=$(curl -sS -X POST "http://$addr/jobs" --data-binary @"$workdir/job.json" |
+    sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "submit did not return a job id"; exit 1; }
+
+curl -sS "http://$addr/jobs/$id/wait" >"$workdir/final.json"
+grep -q '"state": "done"' "$workdir/final.json" || {
+    echo "job did not complete:"; cat "$workdir/final.json"; exit 1; }
+
+curl -sS "http://$addr/jobs/$id/result" >"$workdir/result.json"
+grep -q '"graph_n"' "$workdir/result.json" || {
+    echo "result grid looks wrong:"; head -c 400 "$workdir/result.json"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid"
+pid=
+grep -q "stopped" "$workdir/log" || { echo "no clean shutdown:"; cat "$workdir/log"; exit 1; }
+echo "sbgpd smoke OK ($addr, job $id)"

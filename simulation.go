@@ -24,9 +24,17 @@ type Simulation struct {
 	resolve     bool
 	incremental IncrementalMode
 
+	pairs PairSpec
+
 	shardSize  int
 	checkpoint string
 	resume     bool
+
+	// jobSpec is the scenario's serializable wire form, reconstructed
+	// from its configuration at Simulate time (jobSpecErr when the
+	// scenario uses a capability the wire format cannot carry).
+	jobSpec    *JobSpec
+	jobSpecErr error
 
 	// deployments is the sweep axis (primary first); the implicit
 	// baseline is prepended at sweep time.
@@ -221,4 +229,92 @@ func (s *Simulation) SweepSharded(attackers, destinations []AS, opts ShardOption
 // supplied by the scenario.
 func (s *Simulation) SweepGrid(gr *Grid) (*Result, error) {
 	return gr.EvaluateContext(s.ctx, s.g)
+}
+
+// JobSpec returns the canonical serializable job spec describing this
+// simulation's scenario — the exact spec FromJobSpec would rebuild it
+// from, reconstructed from the scenario configuration at Simulate time
+// so the wire format and the facade options cannot drift (pinned by
+// round-trip tests). It errors for scenarios using capabilities the
+// wire format cannot carry: an in-memory graph, prebuilt deployments,
+// generator parameters beyond (n, seed), resolved tiebreaks, or a
+// custom Attack unknown to ParseAttack.
+func (s *Simulation) JobSpec() (*JobSpec, error) {
+	if s.jobSpecErr != nil {
+		return nil, s.jobSpecErr
+	}
+	return s.jobSpec.Clone(), nil
+}
+
+// JobPairs materializes the scenario's pair policy (WithFullEnumeration
+// / WithPairSampling, or a job spec's pairs): attackers are the
+// non-stub population M′, destinations the full population, sampled
+// down to the policy's caps unless enumerating fully. Deterministic for
+// a given topology.
+func (s *Simulation) JobPairs() (attackers, destinations []AS) {
+	ms := NonStubs(s.g)
+	ds := AllASes(s.g.N())
+	if s.pairs.Full {
+		return ms, ds
+	}
+	maxM, maxD := s.pairs.MaxM, s.pairs.MaxD
+	if maxM == 0 {
+		maxM = DefaultMaxM
+	}
+	if maxD == 0 {
+		maxD = DefaultMaxD
+	}
+	return SamplePairs(ms, ds, maxM, maxD)
+}
+
+// JobGeometry reports the size of the scenario's job: its grid cell
+// count and the number of shards the sharded evaluator will cut it
+// into under the scenario's shard size. The daemon's progress
+// accounting (shards_done / shards_total) divides by the shard count.
+func (s *Simulation) JobGeometry() (cells, shards int, err error) {
+	ms, ds := s.JobPairs()
+	cells, err = s.grid(ms, ds).CellCount()
+	if err != nil {
+		return 0, 0, err
+	}
+	return cells, NumShards(cells, s.shardSize), nil
+}
+
+// JobEvalOptions tunes EvaluateJob without changing the job's result:
+// an overriding checkpoint location (the daemon stores per-job
+// checkpoints under its own data directory, ignoring the spec's), a
+// resume override, a streaming sink for completed shards, and a warm
+// EnginePool to recycle per-worker engines across evaluations.
+type JobEvalOptions struct {
+	// Checkpoint overrides the scenario's checkpoint path ("" keeps it).
+	Checkpoint string
+	// Resume enables resume in addition to the scenario's setting.
+	Resume bool
+	// Sink observes every completed shard (see ShardOptions.Sink).
+	Sink func(*ShardPartial) error
+	// Pool recycles per-worker engine state across evaluations sharing
+	// this simulation's (topology, local-preference) pair.
+	Pool *EnginePool
+}
+
+// EvaluateJob runs the scenario as a complete job: the configured grid
+// over the scenario's own pair policy, through the sharded evaluator.
+// This is the one evaluation path shared by the daemon and both CLIs'
+// -job modes, so a spec yields byte-identical result bytes no matter
+// who runs it — and, via the checkpoint, no matter how often it is
+// interrupted and resumed.
+func (s *Simulation) EvaluateJob(opts JobEvalOptions) (*Result, error) {
+	ms, ds := s.JobPairs()
+	gr := s.grid(ms, ds)
+	gr.Pool = opts.Pool
+	cp := s.checkpoint
+	if opts.Checkpoint != "" {
+		cp = opts.Checkpoint
+	}
+	return gr.EvaluateSharded(s.ctx, s.g, ShardOptions{
+		ShardSize:  s.shardSize,
+		Checkpoint: cp,
+		Resume:     opts.Resume || s.resume,
+		Sink:       opts.Sink,
+	})
 }
