@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare cover fmt-check vet staticcheck examples-smoke sbgpd-smoke fuzz-smoke ci
+.PHONY: all build test race bench bench-smoke bench-compare cover fmt-check vet staticcheck examples-smoke sbgpd-smoke dist-smoke fuzz-smoke ci
 
 all: build
 
@@ -18,7 +18,7 @@ cover:
 	$(GO) tool cover -func=coverage.out
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/sweep/... ./internal/service/...
+	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/sweep/... ./internal/service/... ./internal/dist/...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -51,6 +51,13 @@ examples-smoke:
 sbgpd-smoke:
 	./scripts/sbgpd_smoke.sh
 
+# dist-smoke runs the distributed path end to end: sbgpd -dist plus
+# two sbgpworker processes, one SIGKILLed mid-grid (its lease expires
+# and re-issues), and the finished grid byte-diffed against a one-shot
+# bgpsim -job run of the same spec.
+dist-smoke:
+	./scripts/dist_smoke.sh
+
 # fuzz-smoke runs each fuzz target briefly against its corpus plus a
 # short exploration — a regression smoke, not a campaign. go test -fuzz
 # takes one target per invocation, hence one line per target.
@@ -75,4 +82,4 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare
 
 # ci mirrors the blocking jobs of .github/workflows/ci.yml.
-ci: fmt-check vet staticcheck build test race examples-smoke sbgpd-smoke fuzz-smoke
+ci: fmt-check vet staticcheck build test race examples-smoke sbgpd-smoke dist-smoke fuzz-smoke

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	sbgpd [-addr 127.0.0.1:8379] [-data sbgpd-data]
+//	sbgpd [-addr 127.0.0.1:8379] [-data sbgpd-data] [-dist]
 //
 // Jobs queue with priorities (higher first, FIFO within a priority)
 // and evaluate one at a time; every completed shard is durably
@@ -22,6 +22,15 @@
 //	curl localhost:8379/jobs/job-000000/wait          # block until terminal
 //	curl localhost:8379/jobs/job-000000/result        # the grid JSON
 //	curl -X POST localhost:8379/jobs/job-000000/cancel
+//
+// With -dist the daemon additionally mounts a distributed-sweep
+// coordinator under /dist/v1/ and evaluates every job through remote
+// sbgpworker processes instead of local engine pools: the coordinator
+// cuts the grid into chain-aligned shard leases, re-leases work whose
+// worker misses its heartbeat deadline, and ingests partials into the
+// same fsync'd per-job checkpoint — so worker loss, duplicate
+// submissions, and daemon restarts all preserve the byte-identity
+// guarantee. See internal/dist and DESIGN.md for the lease protocol.
 //
 // On SIGINT/SIGTERM the daemon shuts down gracefully: the running job
 // is interrupted (checkpoint intact, state still resumable) and the
@@ -40,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"sbgp/internal/dist"
 	"sbgp/internal/service"
 )
 
@@ -48,9 +58,18 @@ func main() {
 	log.SetPrefix("sbgpd: ")
 	addr := flag.String("addr", "127.0.0.1:8379", "listen address (use :0 for an ephemeral port)")
 	dataDir := flag.String("data", "sbgpd-data", "data directory (job store, checkpoints, results)")
+	distMode := flag.Bool("dist", false, "evaluate jobs through remote sbgpworker processes (mounts the coordinator API under /dist/v1/)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "with -dist: heartbeat deadline before a worker's lease is re-issued (default 15s)")
+	leaseShards := flag.Int("lease-shards", 0, "with -dist: target shards per lease (default 16)")
 	flag.Parse()
 
-	srv, err := service.Open(*dataDir)
+	var opts service.Options
+	var coord *dist.Coordinator
+	if *distMode {
+		coord = dist.NewCoordinator(dist.Options{LeaseTTL: *leaseTTL, LeaseShards: *leaseShards})
+		opts.Distributor = coord
+	}
+	srv, err := service.OpenOptions(*dataDir, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,9 +80,20 @@ func main() {
 	}
 	// The resolved address on stdout lets scripts (and the CI smoke
 	// job) use -addr :0 and discover the port.
-	fmt.Printf("sbgpd listening on %s (data %s)\n", ln.Addr(), *dataDir)
+	mode := "local evaluation"
+	if *distMode {
+		mode = "distributed evaluation via /dist/v1/"
+	}
+	fmt.Printf("sbgpd listening on %s (data %s, %s)\n", ln.Addr(), *dataDir, mode)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/dist/v1/", coord.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

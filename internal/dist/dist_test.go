@@ -1,0 +1,659 @@
+package dist
+
+// The distributed evaluator's contract, end to end: N workers over the
+// real HTTP protocol — with injected kills, abandoned leases, duplicate
+// submissions, and severed links — must land on grid bytes identical to
+// the single-box sharded evaluator, which is itself pinned to the flat
+// evaluator's golden files. Everything else (reconciliation transfer
+// counts, foreign-fingerprint refusal, checkpoint resume) defends the
+// machinery that makes that identity hold under failure.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sbgp"
+	"sbgp/internal/asgraph"
+	"sbgp/internal/topogen"
+)
+
+// goldenGraph caches the golden topology (the one the sweep package's
+// golden files were captured on).
+var goldenGraph = sync.OnceValue(func() *sbgp.Graph {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 500, Seed: 17})
+	return g
+})
+
+// smallGraph caches the cheaper topology the protocol tests use.
+var smallGraph = sync.OnceValue(func() *sbgp.Graph {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 23})
+	return g
+})
+
+// goldenGrid mirrors the sweep package's golden grid exactly — same
+// axes, same pairs — so results compare against the same golden files.
+func goldenGrid(g *sbgp.Graph, attack sbgp.Attack) *sbgp.Grid {
+	M, D := sbgp.SamplePairs(sbgp.NonStubs(g), sbgp.AllASes(g.N()), 6, 8)
+	evens := sbgp.NewSet(g.N())
+	for v := 0; v < g.N(); v += 2 {
+		evens.Add(sbgp.AS(v))
+	}
+	return &sbgp.Grid{
+		Deployments: []sbgp.GridDeployment{
+			{Name: "baseline"},
+			{Name: "nonstubs", Dep: &sbgp.Deployment{Full: sbgp.SetOf(g.N(), sbgp.NonStubs(g)...)}},
+			{Name: "evens", Dep: &sbgp.Deployment{Full: evens}},
+		},
+		Attackers:    M,
+		Destinations: D,
+		PerDest:      true,
+		Attack:       attack,
+		Workers:      4,
+	}
+}
+
+// nestedGrid mirrors the sweep package's rollout-shaped golden grid.
+func nestedGrid(g *sbgp.Graph) *sbgp.Grid {
+	M, D := sbgp.SamplePairs(sbgp.NonStubs(g), sbgp.AllASes(g.N()), 6, 8)
+	nonStubs := sbgp.NonStubs(g)
+	deployments := []sbgp.GridDeployment{{Name: "baseline"}}
+	for _, k := range []int{3, 9, 18, 30} {
+		anchors := sbgp.SetOf(g.N(), nonStubs[:k]...)
+		stubs := asgraph.StubCustomersOf(g, anchors)
+		full := anchors.Clone()
+		for _, v := range stubs {
+			full.Add(v)
+		}
+		deployments = append(deployments,
+			sbgp.GridDeployment{Name: fmt.Sprintf("step%d", k), Dep: &sbgp.Deployment{Full: full}},
+			sbgp.GridDeployment{Name: fmt.Sprintf("step%d+simplex", k), Dep: &sbgp.Deployment{
+				Full:    anchors.Clone(),
+				Simplex: sbgp.SetOf(g.N(), stubs...),
+			}},
+		)
+	}
+	return &sbgp.Grid{
+		Deployments:  deployments,
+		Attackers:    M,
+		Destinations: D,
+		PerDest:      true,
+		Workers:      4,
+	}
+}
+
+// chainedGrid mirrors the sweep scheduler tests' small rollout grid.
+func chainedGrid(g *sbgp.Graph) *sbgp.Grid {
+	M, D := sbgp.SamplePairs(sbgp.NonStubs(g), sbgp.AllASes(g.N()), 5, 6)
+	nonStubs := sbgp.NonStubs(g)
+	deployments := []sbgp.GridDeployment{{Name: "baseline"}}
+	for _, k := range []int{4, 10, 20} {
+		deployments = append(deployments, sbgp.GridDeployment{
+			Name: fmt.Sprintf("step%d", k),
+			Dep:  &sbgp.Deployment{Full: sbgp.SetOf(g.N(), nonStubs[:k]...)},
+		})
+	}
+	return &sbgp.Grid{
+		Deployments:  deployments,
+		Attackers:    M,
+		Destinations: D,
+		Workers:      4,
+	}
+}
+
+// gridJob assembles a coordinator Job for a caller-held grid.
+func gridJob(t *testing.T, mkGrid func() *sbgp.Grid, g *sbgp.Graph, size int, checkpoint string, resume bool, sink func(*sbgp.ShardPartial) error) (Job, *sbgp.ShardLayout) {
+	t.Helper()
+	gr := mkGrid()
+	layout, units, err := gr.PlanShards(g, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{
+		Layout:     layout,
+		Units:      units,
+		Checkpoint: checkpoint,
+		Resume:     resume,
+		Sink:       sink,
+		Merge: func(ps []*sbgp.ShardPartial) (*sbgp.Result, error) {
+			return mkGrid().MergePartials(g, layout, ps)
+		},
+	}, layout
+}
+
+type runResult struct {
+	res *sbgp.Result
+	err error
+}
+
+// startRun launches coordinator.Run in the background.
+func startRun(ctx context.Context, c *Coordinator, job Job) <-chan runResult {
+	ch := make(chan runResult, 1)
+	go func() {
+		res, err := c.Run(ctx, job)
+		ch <- runResult{res, err}
+	}()
+	return ch
+}
+
+// waitActive blocks until the coordinator has installed a job.
+func waitActive(t *testing.T, c *Coordinator) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !c.Stats().Active {
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never installed the job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// gridWorker returns an HTTP worker evaluating with its own fresh grid
+// value — no shared engine state with any other worker, as across
+// machines.
+func gridWorker(id, base string, mkGrid func() *sbgp.Grid, g *sbgp.Graph, size int) *Worker {
+	return &Worker{
+		Base:   base,
+		ID:     id,
+		OneJob: true,
+		Poll:   10 * time.Millisecond,
+		Open: func(ctx context.Context, _ json.RawMessage) (Evaluator, error) {
+			return &GridEvaluator{Ctx: ctx, Grid: mkGrid(), Graph: g, ShardSize: size}, nil
+		},
+	}
+}
+
+func resultBytes(t *testing.T, res *sbgp.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDistributedGoldenByteIdentity is the acceptance test: for every
+// golden grid (all four attack strategies plus the nested rollout), a
+// distributed run over real HTTP with a worker that dies mid-lease —
+// after submitting half its shards, one of them twice — must produce
+// result bytes identical to the sweep package's golden files, which pin
+// the flat single-box evaluator.
+func TestDistributedGoldenByteIdentity(t *testing.T) {
+	g := goldenGraph()
+	cases := []struct {
+		name   string
+		file   string
+		mkGrid func() *sbgp.Grid
+	}{
+		{"one-hop", "golden_onehop.json", func() *sbgp.Grid { return goldenGrid(g, nil) }},
+		{"none", "golden_none.json", func() *sbgp.Grid { return goldenGrid(g, sbgp.NoAttack{}) }},
+		{"pad-3", "golden_pad3.json", func() *sbgp.Grid { return goldenGrid(g, sbgp.PathPadding{Hops: 3}) }},
+		{"origin-spoof", "golden_originspoof.json", func() *sbgp.Grid { return goldenGrid(g, sbgp.OriginSpoof{}) }},
+		{"nested", "golden_nested.json", func() *sbgp.Grid { return nestedGrid(g) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("..", "sweep", "testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			const size = 7
+			coord := NewCoordinator(Options{LeaseShards: 5, LeaseTTL: 60 * time.Millisecond, Standby: 5 * time.Millisecond})
+			job, layout := gridJob(t, tc.mkGrid, g, size, "", false, nil)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := startRun(ctx, coord, job)
+			waitActive(t, coord)
+
+			// The doomed worker, protocol-driven: takes a lease,
+			// evaluates it, submits half the shards (one of them twice),
+			// and abandons the rest without ever heartbeating — the
+			// lease expires and its unfinished shards are re-leased.
+			grant, err := coord.Lease("doomed", layout.Fingerprint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if grant.LeaseID == "" || grant.Range.Len() == 0 {
+				t.Fatalf("doomed worker got no lease: %+v", grant)
+			}
+			ev := &GridEvaluator{Grid: tc.mkGrid(), Graph: g, ShardSize: size}
+			var parts []*sbgp.ShardPartial
+			err = ev.EvaluateShards(grant.Range, func(p *sbgp.ShardPartial) error {
+				parts = append(parts, p)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := parts[:(len(parts)+1)/2]
+			acc, dup, err := coord.Submit("doomed", layout.Fingerprint, half)
+			if err != nil || acc != len(half) || dup != 0 {
+				t.Fatalf("doomed submit = (%d, %d, %v), want (%d, 0, nil)", acc, dup, err, len(half))
+			}
+			acc, dup, err = coord.Submit("doomed", layout.Fingerprint, half[:1])
+			if err != nil || acc != 0 || dup != 1 {
+				t.Fatalf("duplicate submit = (%d, %d, %v), want (0, 1, nil)", acc, dup, err)
+			}
+
+			// Two honest workers over real HTTP finish the job (the
+			// doomed lease's remainder included, once it expires).
+			srv := httptest.NewServer(coord.Handler())
+			defer srv.Close()
+			var wg sync.WaitGroup
+			workerErrs := make([]error, 2)
+			for i := range workerErrs {
+				w := gridWorker(fmt.Sprintf("w%d", i), srv.URL, tc.mkGrid, g, size)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					workerErrs[i] = w.Run(context.Background())
+				}()
+			}
+			wg.Wait()
+			for i, werr := range workerErrs {
+				if werr != nil {
+					t.Errorf("worker %d: %v", i, werr)
+				}
+			}
+			r := <-done
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			if got := resultBytes(t, r.res); !bytes.Equal(got, want) {
+				t.Errorf("distributed result diverges from golden %s", tc.file)
+			}
+			st := coord.Stats()
+			if st.LeasesExpired < 1 {
+				t.Errorf("stats %+v: expected at least one expired lease (the doomed worker's)", st)
+			}
+			if st.Duplicates < 1 {
+				t.Errorf("stats %+v: expected at least one counted duplicate submission", st)
+			}
+			if st.ShardsAccepted != layout.Shards {
+				t.Errorf("stats %+v: accepted %d shards, want every one of %d exactly once", st, st.ShardsAccepted, layout.Shards)
+			}
+		})
+	}
+}
+
+// sabotageTransport severs the worker's first submit — after handing
+// half of that submission's partials to the coordinator as a rival
+// worker would have. The worker must then reconcile: drop what the
+// coordinator now has, ship only the rest, and re-send nothing.
+type sabotageTransport struct {
+	base        http.RoundTripper
+	coord       *Coordinator
+	fingerprint string
+
+	mu     sync.Mutex
+	fired  bool
+	stolen int
+}
+
+func (s *sabotageTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(req.URL.Path, "/dist/v1/submit") {
+		s.mu.Lock()
+		if !s.fired {
+			s.fired = true
+			body, _ := io.ReadAll(req.Body)
+			req.Body.Close()
+			var sub submitRequest
+			if err := json.Unmarshal(body, &sub); err == nil && len(sub.Partials) > 1 {
+				n := len(sub.Partials) / 2
+				if _, _, err := s.coord.Submit("rival", s.fingerprint, sub.Partials[:n]); err == nil {
+					s.stolen = n
+				}
+			}
+			s.mu.Unlock()
+			return nil, errors.New("injected link failure")
+		}
+		s.mu.Unlock()
+	}
+	return s.base.RoundTrip(req)
+}
+
+// TestReconciliationTransfersOnlyMissing: a worker whose submit is
+// severed mid-flight (while a rival delivers half its shards) must ship
+// exactly the complement on reconnect — counted skips for what the
+// coordinator already had, zero duplicate submissions overall.
+func TestReconciliationTransfersOnlyMissing(t *testing.T) {
+	g := smallGraph()
+	mkGrid := func() *sbgp.Grid { return chainedGrid(g) }
+	const size = 5
+	coord := NewCoordinator(Options{LeaseShards: 1 << 20, LeaseTTL: 10 * time.Second, Standby: 5 * time.Millisecond})
+	job, layout := gridJob(t, mkGrid, g, size, "", false, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := startRun(ctx, coord, job)
+	waitActive(t, coord)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	sab := &sabotageTransport{base: http.DefaultTransport, coord: coord, fingerprint: layout.Fingerprint}
+	w := gridWorker("flaky", srv.URL, mkGrid, g, size)
+	w.Client = &http.Client{Transport: sab}
+	if err := w.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	var flat bytes.Buffer
+	if err := mkGrid().MustEvaluate(g).WriteJSON(&flat); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, r.res), flat.Bytes()) {
+		t.Error("reconciled distributed result diverges from flat evaluation")
+	}
+
+	sab.mu.Lock()
+	stolen := sab.stolen
+	sab.mu.Unlock()
+	if stolen == 0 {
+		t.Fatal("sabotage never fired; the test exercised nothing")
+	}
+	ws := w.Stats()
+	if ws.ShardsEvaluated != layout.Shards {
+		t.Errorf("worker evaluated %d shards, want all %d", ws.ShardsEvaluated, layout.Shards)
+	}
+	if ws.ShardsSkipped != stolen {
+		t.Errorf("worker skipped %d shards, want exactly the %d the rival delivered", ws.ShardsSkipped, stolen)
+	}
+	if ws.ShardsShipped != layout.Shards-stolen {
+		t.Errorf("worker shipped %d shards, want exactly the missing %d", ws.ShardsShipped, layout.Shards-stolen)
+	}
+	if st := coord.Stats(); st.Duplicates != 0 {
+		t.Errorf("coordinator counted %d duplicate submissions; reconnect must transfer only missing shards", st.Duplicates)
+	}
+}
+
+// TestWorkerForeignFingerprint: a worker whose local plan disagrees
+// with the coordinator's — here a different-sized topology — must
+// refuse the job loudly instead of evaluating meaningless shard
+// indices; and the protocol itself refuses mismatched fingerprints.
+func TestWorkerForeignFingerprint(t *testing.T) {
+	g := smallGraph()
+	other, _ := topogen.MustGenerate(topogen.Params{N: 210, Seed: 29})
+	const size = 5
+	coord := NewCoordinator(Options{Standby: 5 * time.Millisecond})
+	job, layout := gridJob(t, func() *sbgp.Grid { return chainedGrid(g) }, g, size, "", false, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := startRun(ctx, coord, job)
+	waitActive(t, coord)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	w := gridWorker("foreign", srv.URL, func() *sbgp.Grid { return chainedGrid(other) }, other, size)
+	err := w.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("foreign worker Run = %v, want a fingerprint refusal", err)
+	}
+	if _, err := coord.Lease("x", "0000000000000000"); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("Lease with foreign fingerprint = %v, want ErrFingerprintMismatch", err)
+	}
+	if _, _, err := coord.Submit("x", "0000000000000000", nil); !errors.Is(err, ErrFingerprintMismatch) {
+		t.Errorf("Submit with foreign fingerprint = %v, want ErrFingerprintMismatch", err)
+	}
+	_ = layout
+	cancel()
+	<-done
+}
+
+// TestCoordinatorCheckpointResume: a coordinator abandoned mid-job
+// keeps its accepted shards in the fsync'd checkpoint; a fresh
+// coordinator resuming that checkpoint replays them to the sink,
+// accepts only the missing ones from workers, and lands on the flat
+// bytes.
+func TestCoordinatorCheckpointResume(t *testing.T) {
+	g := smallGraph()
+	mkGrid := func() *sbgp.Grid { return chainedGrid(g) }
+	const size = 5
+	path := filepath.Join(t.TempDir(), "dist.ckpt")
+
+	coord1 := NewCoordinator(Options{LeaseShards: 7, Standby: 5 * time.Millisecond})
+	job1, layout := gridJob(t, mkGrid, g, size, path, false, nil)
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := startRun(ctx1, coord1, job1)
+	waitActive(t, coord1)
+	grant, err := coord1.Lease("early", layout.Fingerprint)
+	if err != nil || grant.LeaseID == "" {
+		t.Fatalf("lease = %+v, %v", grant, err)
+	}
+	ev := &GridEvaluator{Grid: mkGrid(), Graph: g, ShardSize: size}
+	var parts []*sbgp.ShardPartial
+	if err := ev.EvaluateShards(grant.Range, func(p *sbgp.ShardPartial) error { parts = append(parts, p); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if acc, _, err := coord1.Submit("early", layout.Fingerprint, parts); err != nil || acc != len(parts) {
+		t.Fatalf("submit = (%d, %v), want %d accepted", acc, err, len(parts))
+	}
+	cancel1()
+	if r := <-done1; !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("abandoned run = %v, want context.Canceled", r.err)
+	}
+
+	// Fresh coordinator, resumed checkpoint. The sink must see every
+	// shard exactly once: the checkpointed ones replayed up front, the
+	// rest as workers deliver them.
+	var mu sync.Mutex
+	seen := map[int]int{}
+	coord2 := NewCoordinator(Options{LeaseShards: 7, Standby: 5 * time.Millisecond})
+	job2, _ := gridJob(t, mkGrid, g, size, path, true, func(p *sbgp.ShardPartial) error {
+		mu.Lock()
+		seen[p.Shard]++
+		mu.Unlock()
+		return nil
+	})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	done2 := startRun(ctx2, coord2, job2)
+	waitActive(t, coord2)
+	srv := httptest.NewServer(coord2.Handler())
+	defer srv.Close()
+	if err := gridWorker("resumer", srv.URL, mkGrid, g, size).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r := <-done2
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	var flat bytes.Buffer
+	if err := mkGrid().MustEvaluate(g).WriteJSON(&flat); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, r.res), flat.Bytes()) {
+		t.Error("resumed distributed result diverges from flat evaluation")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != layout.Shards {
+		t.Errorf("sink saw %d distinct shards, want %d", len(seen), layout.Shards)
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Errorf("sink saw shard %d %d times", s, n)
+		}
+	}
+	if st := coord2.Stats(); st.ShardsAccepted != layout.Shards-len(parts) {
+		t.Errorf("resumed run accepted %d shards from workers, want only the %d missing",
+			st.ShardsAccepted, layout.Shards-len(parts))
+	}
+}
+
+// TestConcurrentWorkersWithKill: three real HTTP workers race on one
+// job; one is killed mid-lease (its evaluator blocks on the first shard
+// until its context dies, so the kill deterministically strands a live
+// lease). The lease expires, the survivors re-evaluate it, and the
+// result is byte-identical to the flat evaluation.
+func TestConcurrentWorkersWithKill(t *testing.T) {
+	g := smallGraph()
+	mkGrid := func() *sbgp.Grid { return chainedGrid(g) }
+	const size = 4
+	coord := NewCoordinator(Options{LeaseShards: 6, LeaseTTL: 60 * time.Millisecond, Standby: 5 * time.Millisecond})
+	job, _ := gridJob(t, mkGrid, g, size, "", false, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := startRun(ctx, coord, job)
+	waitActive(t, coord)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	killCtx, kill := context.WithCancel(context.Background())
+	defer kill()
+	killReady := make(chan struct{})
+	var once sync.Once
+	doomed := &Worker{
+		Base:   srv.URL,
+		ID:     "doomed",
+		OneJob: true,
+		Poll:   10 * time.Millisecond,
+		Open: func(_ context.Context, _ json.RawMessage) (Evaluator, error) {
+			inner := &GridEvaluator{Ctx: killCtx, Grid: mkGrid(), Graph: g, ShardSize: size}
+			return &stallEvaluator{inner: inner, stall: func() {
+				once.Do(func() { close(killReady) })
+				<-killCtx.Done()
+			}}, nil
+		},
+	}
+	var wg sync.WaitGroup
+	var doomedErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doomedErr = doomed.Run(killCtx)
+	}()
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		w := gridWorker(fmt.Sprintf("w%d", i), srv.URL, mkGrid, g, size)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workerErrs[i] = w.Run(context.Background())
+		}()
+	}
+	<-killReady
+	kill()
+	wg.Wait()
+	if doomedErr == nil {
+		t.Error("killed worker returned nil, want its context error")
+	}
+	for i, werr := range workerErrs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	var flat bytes.Buffer
+	if err := mkGrid().MustEvaluate(g).WriteJSON(&flat); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, r.res), flat.Bytes()) {
+		t.Error("distributed result with a killed worker diverges from flat evaluation")
+	}
+	if st := coord.Stats(); st.LeasesExpired < 1 {
+		t.Errorf("stats %+v: the killed worker's lease never expired", st)
+	}
+}
+
+// stallEvaluator wraps an Evaluator and blocks in the sink on every
+// shard via stall() — the deterministic way to strand a worker
+// mid-lease.
+type stallEvaluator struct {
+	inner Evaluator
+	stall func()
+}
+
+func (s *stallEvaluator) ShardPlan() (*sbgp.ShardLayout, error) { return s.inner.ShardPlan() }
+
+func (s *stallEvaluator) EvaluateShards(r sbgp.ShardRange, sink func(*sbgp.ShardPartial) error) error {
+	return s.inner.EvaluateShards(r, func(p *sbgp.ShardPartial) error {
+		s.stall()
+		return sink(p)
+	})
+}
+
+// TestDistributedJobSpecFacade: the full facade path — a scenario with
+// WithCoordinator, workers that rebuild the simulation from the served
+// canonical spec (no shared state at all) — produces bytes identical to
+// the same scenario's local EvaluateJob.
+func TestDistributedJobSpecFacade(t *testing.T) {
+	opts := func() []sbgp.Option {
+		return []sbgp.Option{
+			sbgp.WithGeneratedTopology(200, 23),
+			sbgp.WithPairSampling(5, 6),
+			sbgp.WithShardSize(5),
+			sbgp.WithWorkers(4),
+		}
+	}
+	ref, err := sbgp.NewScenario(opts()...).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.EvaluateJob(sbgp.JobEvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := NewCoordinator(Options{LeaseShards: 6, Standby: 5 * time.Millisecond})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		w := &Worker{
+			Base:    srv.URL,
+			ID:      fmt.Sprintf("spec-w%d", i),
+			OneJob:  true,
+			Poll:    10 * time.Millisecond,
+			Workers: 4,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			workerErrs[i] = w.Run(context.Background())
+		}()
+	}
+
+	sim, err := sbgp.NewScenario(append(opts(), sbgp.WithCoordinator(coord))...).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.EvaluateJobDistributed(sbgp.JobEvalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, werr := range workerErrs {
+		if werr != nil {
+			t.Errorf("worker %d: %v", i, werr)
+		}
+	}
+	if !bytes.Equal(resultBytes(t, got), resultBytes(t, want)) {
+		t.Error("facade distributed result diverges from local EvaluateJob")
+	}
+
+	// Without a coordinator the facade refuses loudly.
+	bare, err := sbgp.NewScenario(opts()...).Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bare.EvaluateJobDistributed(sbgp.JobEvalOptions{}); err == nil || !strings.Contains(err.Error(), "WithCoordinator") {
+		t.Errorf("EvaluateJobDistributed without coordinator = %v, want a WithCoordinator hint", err)
+	}
+}

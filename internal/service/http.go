@@ -147,6 +147,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			// Client gone: unsubscribe promptly so the slot and this
+			// goroutine don't outlive the connection.
+			return
+		case <-s.closing:
 			return
 		case <-wake:
 			j, ok := s.Get(id)
@@ -157,7 +161,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(w, "event: job\ndata: %s\n\n", data)
+			if _, err := fmt.Fprintf(w, "event: job\ndata: %s\n\n", data); err != nil {
+				return
+			}
 			if canFlush {
 				flusher.Flush()
 			}
@@ -181,6 +187,8 @@ func (s *Server) handleWait(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.closing:
 			return
 		case <-wake:
 			j, ok := s.Get(id)

@@ -84,17 +84,20 @@ func (s *Server) pickLocked() *job {
 // evaluate runs one job through the shared FromJobSpec → Simulate →
 // EvaluateJob path against the warm topology cache and engine pool,
 // with the daemon's per-job checkpoint, and writes the result grid
-// atomically. It is the long call of the run loop; ctx aborts it.
+// atomically. With a Distributor configured, the evaluation itself is
+// farmed out to workers instead — same checkpoint, same sink, same
+// result bytes. It is the long call of the run loop; ctx aborts it.
 func (s *Server) evaluate(ctx context.Context, j *job) error {
 	s.mu.Lock()
 	spec := j.Spec
 	id := j.ID
 	s.mu.Unlock()
 
-	entry, key, err := s.topology(spec)
+	entry, key, err := s.acquireTopology(spec)
 	if err != nil {
 		return err
 	}
+	defer s.releaseTopology(key)
 	sc, err := sbgp.FromJobSpecOnGraph(spec, entry.g, entry.meta, sbgp.WithContext(ctx))
 	if err != nil {
 		return err
@@ -112,22 +115,32 @@ func (s *Server) evaluate(ctx context.Context, j *job) error {
 	s.persistAndNotify(j)
 	s.mu.Unlock()
 
-	pool := s.pool(poolKey{topo: key, lpk: spec.LPK})
-	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{
-		Checkpoint: s.CheckpointPath(id),
-		Resume:     true, // fresh checkpoint = fresh run; restart = resume
-		Pool:       pool,
-		Sink: func(*sbgp.ShardPartial) error {
-			s.mu.Lock()
-			j.ShardsDone++
-			// Progress is broadcast but persisted lazily: the
-			// checkpoint, not this counter, is the durable record.
-			s.notifyLocked(j)
-			s.mu.Unlock()
-			return nil
-		},
-	})
-	pool.Release()
+	sink := func(*sbgp.ShardPartial) error {
+		s.mu.Lock()
+		j.ShardsDone++
+		// Progress is broadcast but persisted lazily: the
+		// checkpoint, not this counter, is the durable record.
+		s.notifyLocked(j)
+		s.mu.Unlock()
+		return nil
+	}
+	var res *sbgp.Result
+	if d := s.opts.Distributor; d != nil {
+		// Distributed evaluation: workers own their engines, so the
+		// local pool stays untouched.
+		res, err = d.RunSim(ctx, sim, spec, s.CheckpointPath(id), true, sink)
+	} else {
+		pk := poolKey{topo: key, lpk: spec.LPK}
+		pool := s.acquirePool(pk)
+		res, err = sim.EvaluateJob(sbgp.JobEvalOptions{
+			Checkpoint: s.CheckpointPath(id),
+			Resume:     true, // fresh checkpoint = fresh run; restart = resume
+			Pool:       pool,
+			Sink:       sink,
+		})
+		pool.Release()
+		s.releasePool(pk)
+	}
 	if err != nil {
 		return err
 	}
@@ -140,18 +153,20 @@ func (s *Server) evaluate(ctx context.Context, j *job) error {
 	return nil
 }
 
-// topology returns the warm (graph, meta) for a spec's topology
-// section, materializing and caching it on first use.
-func (s *Server) topology(spec *sbgp.JobSpec) (*topoEntry, topoKey, error) {
+// acquireTopology returns the warm (graph, meta) for a spec's topology
+// section, materializing and caching it on first use, and pins it
+// against eviction until releaseTopology.
+func (s *Server) acquireTopology(spec *sbgp.JobSpec) (*topoEntry, topoKey, error) {
 	t := spec.Topology
 	key := topoKey{n: t.N, seed: t.Seed, graphFile: t.GraphFile, ixp: t.IXP}
 	s.mu.Lock()
-	entry := s.topos[key]
-	s.mu.Unlock()
-	if entry != nil {
+	if entry := s.topos[key]; entry != nil {
+		entry.inUse++
+		s.mu.Unlock()
 		return entry, key, nil
 	}
-	entry = &topoEntry{}
+	s.mu.Unlock()
+	entry := &topoEntry{}
 	if t.GraphFile != "" {
 		f, err := os.Open(t.GraphFile)
 		if err != nil {
@@ -176,21 +191,89 @@ func (s *Server) topology(spec *sbgp.JobSpec) (*topoEntry, topoKey, error) {
 	} else {
 		s.topos[key] = entry
 	}
+	entry.inUse++
 	s.mu.Unlock()
 	return entry, key, nil
 }
 
-// pool returns the engine pool for one (topology, local-preference)
-// pair, creating it on first use.
-func (s *Server) pool(key poolKey) *sbgp.EnginePool {
+// releaseTopology unpins a topology entry and evicts the caches down
+// to their caps, least-recently-used and never-in-use first.
+func (s *Server) releaseTopology(key topoKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if entry := s.topos[key]; entry != nil && entry.inUse > 0 {
+		entry.inUse--
+		s.useSeq++
+		entry.lastUse = s.useSeq
+	}
+	s.evictLocked()
+}
+
+// acquirePool returns the engine pool for one (topology, local-
+// preference) pair, creating it on first use, pinned until
+// releasePool.
+func (s *Server) acquirePool(key poolKey) *sbgp.EnginePool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := s.pools[key]
 	if p == nil {
-		p = sbgp.NewEnginePool()
+		p = &poolEntry{pool: sbgp.NewEnginePool()}
 		s.pools[key] = p
 	}
-	return p
+	p.inUse++
+	return p.pool
+}
+
+// releasePool unpins an engine pool and evicts down to the caps.
+func (s *Server) releasePool(key poolKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p := s.pools[key]; p != nil && p.inUse > 0 {
+		p.inUse--
+		s.useSeq++
+		p.lastUse = s.useSeq
+	}
+	s.evictLocked()
+}
+
+// evictLocked shrinks both warm caches to their caps (caller holds
+// mu). Entries pinned by a running evaluation are never evicted, so a
+// cache may transiently exceed its cap while everything in it is in
+// use; the next release re-checks. An evicted engine pool simply drops
+// its states — abandoning warm engines is always safe, only slower.
+func (s *Server) evictLocked() {
+	for len(s.topos) > s.opts.maxTopologies() {
+		var victim topoKey
+		found := false
+		for k, e := range s.topos {
+			if e.inUse > 0 {
+				continue
+			}
+			if !found || e.lastUse < s.topos[victim].lastUse {
+				victim, found = k, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(s.topos, victim)
+	}
+	for len(s.pools) > s.opts.maxEnginePools() {
+		var victim poolKey
+		found := false
+		for k, p := range s.pools {
+			if p.inUse > 0 {
+				continue
+			}
+			if !found || p.lastUse < s.pools[victim].lastUse {
+				victim, found = k, true
+			}
+		}
+		if !found {
+			return
+		}
+		delete(s.pools, victim)
+	}
 }
 
 // loadJobRecord reads one persisted job record.

@@ -116,17 +116,69 @@ type poolKey struct {
 
 // topoEntry is one warm topology: the graph and metadata exactly as
 // the spec's topology section produces them (before IXP augmentation,
-// which Simulate applies per job).
+// which Simulate applies per job), plus the LRU bookkeeping that lets
+// the cache evict under pressure without ever dropping an entry a
+// running evaluation holds.
 type topoEntry struct {
 	g    *sbgp.Graph
 	meta *sbgp.TopologyMeta
+
+	lastUse int64 // server use-sequence at last release
+	inUse   int   // running evaluations holding this entry
+}
+
+// poolEntry is one warm engine pool with the same LRU bookkeeping.
+type poolEntry struct {
+	pool *sbgp.EnginePool
+
+	lastUse int64
+	inUse   int
+}
+
+// Distributor is the pluggable distributed-evaluation backend: given a
+// materialized simulation and its spec, produce the job's Result by
+// farming shard ranges out to workers (internal/dist's Coordinator is
+// the in-tree implementation, wired through cmd/sbgpd -dist). The
+// checkpoint/resume/sink contract matches Simulation.EvaluateJob, and
+// so must the result bytes.
+type Distributor interface {
+	RunSim(ctx context.Context, sim *sbgp.Simulation, spec *sbgp.JobSpec, checkpoint string, resume bool, sink func(*sbgp.ShardPartial) error) (*sbgp.Result, error)
+}
+
+// Options tunes a Server beyond its data directory.
+type Options struct {
+	// Distributor, when non-nil, evaluates jobs through distributed
+	// workers instead of the local engine pools.
+	Distributor Distributor
+	// MaxTopologies caps the warm topology cache (LRU eviction;
+	// entries held by a running evaluation are never evicted).
+	// Default 8.
+	MaxTopologies int
+	// MaxEnginePools caps the warm engine-pool cache the same way.
+	// Default 16.
+	MaxEnginePools int
+}
+
+func (o Options) maxTopologies() int {
+	if o.MaxTopologies <= 0 {
+		return 8
+	}
+	return o.MaxTopologies
+}
+
+func (o Options) maxEnginePools() int {
+	if o.MaxEnginePools <= 0 {
+		return 16
+	}
+	return o.MaxEnginePools
 }
 
 // Server is the resident sweep service. Create one with Open, attach
 // its Handler to an HTTP server, and Close it to shut down (leaving
 // queued and running jobs resumable on the next Open).
 type Server struct {
-	dir string
+	dir  string
+	opts Options
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -134,20 +186,30 @@ type Server struct {
 	order  []string // submission order, for listing
 	nextID int
 	closed bool
+	useSeq int64 // monotonic LRU clock for the warm caches
 
 	topos map[topoKey]*topoEntry
-	pools map[poolKey]*sbgp.EnginePool
+	pools map[poolKey]*poolEntry
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	runnerDone chan struct{}
+	// closing is closed by Close before the run loop drains, so
+	// long-lived HTTP streams (events, wait) unblock promptly instead
+	// of holding their subscriber slots until the client goes away.
+	closing chan struct{}
 }
 
-// Open starts a server over a data directory, creating it as needed.
-// Jobs persisted by a previous run are reloaded: terminal jobs as
-// history, queued and running jobs requeued — a job that was mid-grid
-// when the previous daemon died resumes from its checkpoint.
+// Open starts a server over a data directory with default options.
 func Open(dir string) (*Server, error) {
+	return OpenOptions(dir, Options{})
+}
+
+// OpenOptions starts a server over a data directory, creating it as
+// needed. Jobs persisted by a previous run are reloaded: terminal jobs
+// as history, queued and running jobs requeued — a job that was
+// mid-grid when the previous daemon died resumes from its checkpoint.
+func OpenOptions(dir string, opts Options) (*Server, error) {
 	for _, sub := range []string{"jobs", "results", "checkpoints"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, err
@@ -156,12 +218,14 @@ func Open(dir string) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		dir:        dir,
+		opts:       opts,
 		jobs:       map[string]*job{},
 		topos:      map[topoKey]*topoEntry{},
-		pools:      map[poolKey]*sbgp.EnginePool{},
+		pools:      map[poolKey]*poolEntry{},
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		runnerDone: make(chan struct{}),
+		closing:    make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if err := s.reload(); err != nil {
@@ -232,6 +296,7 @@ func (s *Server) Close() error {
 	s.closed = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	close(s.closing)
 	s.baseCancel()
 	<-s.runnerDone
 	return nil
@@ -351,9 +416,21 @@ func (s *Server) Stats() *Status {
 		st.Jobs[j.State]++
 	}
 	for _, p := range s.pools {
-		st.WarmEngines += p.Size()
+		st.WarmEngines += p.pool.Size()
 	}
 	return st
+}
+
+// subscribers reports a job's live subscriber-slot count (prune
+// accounting for the SSE regression tests).
+func (s *Server) subscribers(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return 0
+	}
+	return len(j.subs)
 }
 
 // Subscribe registers a progress subscriber for a job: a coalescing

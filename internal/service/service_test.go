@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"sbgp"
+	"sbgp/internal/dist"
 )
 
 // smallSpec is a quick sampled grid: 288 cells across 18 shards.
@@ -543,4 +545,270 @@ func TestHistorySurvivesRestart(t *testing.T) {
 		t.Fatalf("restarted daemon reused job ID %s", next.ID)
 	}
 	waitFor(t, s2, next.ID, terminal)
+}
+
+// TestCacheEviction pins the warm-cache LRU contract: both caches
+// evict least-recently-used entries down to their caps, and an entry
+// pinned by a running evaluation is never evicted even when the cache
+// is over cap.
+func TestCacheEviction(t *testing.T) {
+	s, err := OpenOptions(t.TempDir(), Options{MaxTopologies: 2, MaxEnginePools: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	specFor := func(seed int64) *sbgp.JobSpec {
+		sp := smallSpec()
+		sp.Topology.Seed = seed
+		return sp
+	}
+	keyFor := func(seed int64) topoKey {
+		return topoKey{n: smallSpec().Topology.N, seed: seed}
+	}
+
+	// Pin topology 1, then churn 2, 3, 4 through the 2-entry cache.
+	entry1, key1, err := s.acquireTopology(specFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(2); seed <= 4; seed++ {
+		if _, _, err := s.acquireTopology(specFor(seed)); err != nil {
+			t.Fatal(err)
+		}
+		s.releaseTopology(keyFor(seed))
+	}
+	s.mu.Lock()
+	nTopos := len(s.topos)
+	pinned := s.topos[key1]
+	_, has3 := s.topos[keyFor(3)]
+	_, has4 := s.topos[keyFor(4)]
+	s.mu.Unlock()
+	if nTopos != 2 {
+		t.Fatalf("topology cache holds %d entries, cap 2", nTopos)
+	}
+	if pinned != entry1 {
+		t.Fatal("in-use topology was evicted under pressure")
+	}
+	if has3 || !has4 {
+		t.Fatalf("LRU order wrong: seed3=%v seed4=%v (want only the newest unpinned survivor)", has3, has4)
+	}
+
+	// Over-cap while everything is pinned: nothing is evictable, the
+	// cache transiently exceeds its cap, and no pinned entry vanishes.
+	if _, _, err := s.acquireTopology(specFor(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.acquireTopology(specFor(5)); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	nTopos = len(s.topos)
+	s.mu.Unlock()
+	if nTopos != 3 {
+		t.Fatalf("fully pinned cache: %d entries (want 3: all pinned, none evictable)", nTopos)
+	}
+	// Releasing shrinks back to cap.
+	s.releaseTopology(key1)
+	s.releaseTopology(keyFor(4))
+	s.releaseTopology(keyFor(5))
+	s.mu.Lock()
+	nTopos = len(s.topos)
+	_, has1 := s.topos[key1]
+	s.mu.Unlock()
+	if nTopos != 2 || has1 {
+		t.Fatalf("after releases: %d entries, seed1 present=%v (want 2 newest)", nTopos, has1)
+	}
+
+	// Engine pools follow the same discipline.
+	pk := func(seed int64, lpk int) poolKey { return poolKey{topo: keyFor(seed), lpk: lpk} }
+	pinnedPool := s.acquirePool(pk(1, 0))
+	for i := 2; i <= 4; i++ {
+		s.acquirePool(pk(1, i))
+		s.releasePool(pk(1, i))
+	}
+	s.mu.Lock()
+	nPools := len(s.pools)
+	pe := s.pools[pk(1, 0)]
+	s.mu.Unlock()
+	if nPools != 2 {
+		t.Fatalf("pool cache holds %d entries, cap 2", nPools)
+	}
+	if pe == nil || pe.pool != pinnedPool {
+		t.Fatal("in-use engine pool was evicted under pressure")
+	}
+	s.releasePool(pk(1, 0))
+	s.mu.Lock()
+	nPools = len(s.pools)
+	s.mu.Unlock()
+	if nPools != 2 {
+		t.Fatalf("pool cache holds %d entries after release, cap 2", nPools)
+	}
+}
+
+// blockingDistributor parks every evaluation until its context is
+// cancelled, keeping a job in StateRunning for as long as a test needs
+// (the SSE regression tests below want a live job whose stream never
+// terminates on its own).
+type blockingDistributor struct{}
+
+func (blockingDistributor) RunSim(ctx context.Context, _ *sbgp.Simulation, _ *sbgp.JobSpec, _ string, _ bool, _ func(*sbgp.ShardPartial) error) (*sbgp.Result, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func running(j *Job) bool { return j.State == StateRunning }
+
+// TestEventStreamPrunesDisconnectedSubscribers pins the regression
+// where SSE subscribers that disconnected mid-stream kept their
+// subscriber slots (and handler goroutines) until the job changed
+// state: repeated connect/drop cycles against a job that never
+// progresses must drain back to zero slots promptly.
+func TestEventStreamPrunesDisconnectedSubscribers(t *testing.T) {
+	s, err := OpenOptions(t.TempDir(), Options{Distributor: blockingDistributor{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j, err := s.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, s, j.ID, running)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 8; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/jobs/"+j.ID+"/events", nil)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		// Read the initial snapshot so the handler is parked in its
+		// select loop, then drop the connection mid-stream.
+		if _, err := resp.Body.Read(make([]byte, 1)); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.subscribers(j.ID) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d subscriber slots leaked after disconnects", s.subscribers(j.ID))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCloseUnblocksEventStreams pins that Server.Close promptly
+// unblocks parked events/wait handlers instead of leaving them (and
+// the HTTP server's shutdown) hanging on clients that never disconnect.
+func TestCloseUnblocksEventStreams(t *testing.T) {
+	s, err := OpenOptions(t.TempDir(), Options{Distributor: blockingDistributor{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, s, j.ID, running)
+	ts := httptest.NewServer(s.Handler())
+
+	done := make(chan error, 2)
+	stream := func(path string) {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			done <- err
+			return
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- err
+	}
+	go stream("/jobs/" + j.ID + "/events")
+	go stream("/jobs/" + j.ID + "/wait")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.subscribers(j.ID) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("streams never subscribed (%d slots)", s.subscribers(j.ID))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-time.After(15 * time.Second):
+			t.Fatal("stream handler did not unblock after Close")
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// With the handlers drained, the HTTP server shuts down promptly.
+	ts.Close()
+	if n := s.subscribers(j.ID); n != 0 {
+		t.Fatalf("%d subscriber slots leaked after Close", n)
+	}
+}
+
+// TestDaemonDistributedByteIdentity runs the daemon with a real
+// internal/dist Coordinator as its Distributor and two spec-driven
+// workers over HTTP — the cmd/sbgpd -dist wiring in miniature — and
+// pins that the distributed result bytes match a one-shot local run.
+func TestDaemonDistributedByteIdentity(t *testing.T) {
+	coord := dist.NewCoordinator(dist.Options{LeaseShards: 4, LeaseTTL: 5 * time.Second})
+	s, err := OpenOptions(t.TempDir(), Options{Distributor: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(coord.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		w := &dist.Worker{
+			Base: ts.URL,
+			ID:   fmt.Sprintf("daemon-w%d", i),
+			Poll: 10 * time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+
+	j, err := s.Submit(smallSpec(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitFor(t, s, j.ID, terminal)
+	if fin.State != StateDone {
+		t.Fatalf("distributed job: state %s error %q", fin.State, fin.Error)
+	}
+	if fin.ShardsDone != fin.ShardsTotal || fin.ShardsTotal == 0 {
+		t.Fatalf("distributed progress: %d/%d shards", fin.ShardsDone, fin.ShardsTotal)
+	}
+	got, err := os.ReadFile(s.ResultPath(j.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := oneShotBytes(t, smallSpec()); !bytes.Equal(got, want) {
+		t.Fatal("daemon distributed result differs from one-shot evaluation")
+	}
+	if _, err := os.Stat(s.CheckpointPath(j.ID)); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint not removed after distributed completion: %v", err)
+	}
 }

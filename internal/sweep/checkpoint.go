@@ -92,29 +92,48 @@ func decodeCheckpointLine(data []byte) (*checkpointHeader, *ShardPartial, error)
 			Cells: ln.Cells, ShardSize: ln.ShardSize, Shards: ln.Shards,
 		}, nil, nil
 	case recordShard:
-		if ln.Shard == nil || *ln.Shard < 0 {
+		if ln.Shard == nil {
 			return nil, nil, fmt.Errorf("shard record without a valid shard index")
 		}
-		n := len(ln.Tasks)
-		if len(ln.Lo) != n || len(ln.Hi) != n || len(ln.Pairs) != n {
-			return nil, nil, fmt.Errorf("shard %d: ragged arrays (%d tasks, %d lo, %d hi, %d pairs)",
-				*ln.Shard, n, len(ln.Lo), len(ln.Hi), len(ln.Pairs))
-		}
-		for i := 0; i < n; i++ {
-			if ln.Tasks[i] < 0 || (i > 0 && ln.Tasks[i] <= ln.Tasks[i-1]) {
-				return nil, nil, fmt.Errorf("shard %d: task indices not strictly increasing", *ln.Shard)
-			}
-			if ln.Pairs[i] <= 0 || ln.Lo[i] < 0 || ln.Hi[i] < ln.Lo[i] {
-				return nil, nil, fmt.Errorf("shard %d: invalid counts at task %d (lo=%d hi=%d pairs=%d)",
-					*ln.Shard, ln.Tasks[i], ln.Lo[i], ln.Hi[i], ln.Pairs[i])
-			}
-		}
-		return nil, &ShardPartial{
+		p := &ShardPartial{
 			Shard: *ln.Shard, Tasks: ln.Tasks, Lo: ln.Lo, Hi: ln.Hi, Pairs: ln.Pairs,
-		}, nil
+		}
+		if err := validatePartialShape(p); err != nil {
+			return nil, nil, err
+		}
+		return nil, p, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown record kind %q", ln.Kind)
 	}
+}
+
+// validatePartialShape enforces every context-free invariant of a shard
+// partial: a non-negative shard index, equal-length parallel arrays,
+// strictly increasing task indices, and positive pair counts with
+// 0 ≤ lo ≤ hi. It is the shared gate for partials arriving from any
+// untrusted edge — checkpoint lines, coordinator submissions — while
+// range checks against a concrete grid (shard < shards, task < tasks)
+// stay with the caller that knows the grid (Layout.ValidatePartial,
+// parseCheckpoint).
+func validatePartialShape(p *ShardPartial) error {
+	if p.Shard < 0 {
+		return fmt.Errorf("shard record without a valid shard index")
+	}
+	n := len(p.Tasks)
+	if len(p.Lo) != n || len(p.Hi) != n || len(p.Pairs) != n {
+		return fmt.Errorf("shard %d: ragged arrays (%d tasks, %d lo, %d hi, %d pairs)",
+			p.Shard, n, len(p.Lo), len(p.Hi), len(p.Pairs))
+	}
+	for i := 0; i < n; i++ {
+		if p.Tasks[i] < 0 || (i > 0 && p.Tasks[i] <= p.Tasks[i-1]) {
+			return fmt.Errorf("shard %d: task indices not strictly increasing", p.Shard)
+		}
+		if p.Pairs[i] <= 0 || p.Lo[i] < 0 || p.Hi[i] < p.Lo[i] {
+			return fmt.Errorf("shard %d: invalid counts at task %d (lo=%d hi=%d pairs=%d)",
+				p.Shard, p.Tasks[i], p.Lo[i], p.Hi[i], p.Pairs[i])
+		}
+	}
+	return nil
 }
 
 // checkpointFile is an open checkpoint with the shard partials resumed

@@ -1,0 +1,186 @@
+package sweep
+
+// CheckpointWriter is the ingestion half of the checkpoint format,
+// factored out of EvaluateSharded so a coordinator can accumulate shard
+// partials arriving from remote workers — out of order, duplicated,
+// across restarts — into the exact same fsync'd JSON-lines file that
+// EvaluateSharded's Resume reads. Idempotence by shard index is the
+// property the distributed reconcile path leans on: the first accepted
+// partial for a shard wins, every later submission is a no-op, and a
+// crash between accept and ack costs at most a re-send.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CheckpointWriter ingests shard partials for one fixed Layout,
+// idempotently by shard index, optionally backed by a durable
+// checkpoint file. Safe for concurrent use.
+type CheckpointWriter struct {
+	mu       sync.Mutex
+	layout   Layout
+	cp       *checkpointFile // nil: memory-only
+	closed   bool
+	partials []*ShardPartial // dense, indexed by shard
+	have     int
+}
+
+// OpenCheckpointWriter opens a writer for the layout. With a non-empty
+// path the writer is durable: each accepted partial is an fsync'd
+// record in the same file format EvaluateSharded checkpoints use, and
+// with resume set an existing file's shards are loaded as already-have
+// (the file must match the layout's fingerprint and geometry). An empty
+// path keeps everything in memory.
+func OpenCheckpointWriter(path string, l *Layout, resume bool) (*CheckpointWriter, error) {
+	if err := l.geometry(); err != nil {
+		return nil, err
+	}
+	w := &CheckpointWriter{
+		layout:   *l,
+		partials: make([]*ShardPartial, l.Shards),
+	}
+	if path == "" {
+		return w, nil
+	}
+	// The layout's shard size is passed as the explicit request, so a
+	// resumed file cut under any other size fails loudly inside
+	// openCheckpoint instead of silently re-partitioning.
+	cp, _, err := openCheckpoint(path, l.Fingerprint, l.Cells, l.Tasks, l.ShardSize, resume)
+	if err != nil {
+		return nil, err
+	}
+	w.cp = cp
+	for _, p := range cp.resumed {
+		if w.partials[p.Shard] == nil {
+			w.partials[p.Shard] = p
+			w.have++
+		}
+	}
+	return w, nil
+}
+
+// Layout returns the writer's layout.
+func (w *CheckpointWriter) Layout() Layout {
+	return w.layout
+}
+
+// Add ingests one shard partial. It returns (true, nil) if the partial
+// was accepted (and, for a durable writer, fsync'd), (false, nil) if
+// the shard was already present — the idempotent duplicate case — and
+// (false, err) if the partial fails validation against the layout or
+// the durable append fails. Validation failure leaves the writer
+// unchanged and usable; an append failure means durability is gone and
+// the writer should be abandoned.
+func (w *CheckpointWriter) Add(p *ShardPartial) (bool, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false, fmt.Errorf("sweep: checkpoint writer is closed")
+	}
+	if err := w.layout.ValidatePartial(p); err != nil {
+		return false, err
+	}
+	if w.partials[p.Shard] != nil {
+		return false, nil
+	}
+	if w.cp != nil {
+		if err := w.cp.append(p); err != nil {
+			return false, err
+		}
+	}
+	w.partials[p.Shard] = p
+	w.have++
+	return true, nil
+}
+
+// Have reports whether shard s has been ingested.
+func (w *CheckpointWriter) Have(s int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return s >= 0 && s < len(w.partials) && w.partials[s] != nil
+}
+
+// HaveCount returns how many distinct shards have been ingested.
+func (w *CheckpointWriter) HaveCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.have
+}
+
+// Shards returns the layout's total shard count.
+func (w *CheckpointWriter) Shards() int {
+	return w.layout.Shards
+}
+
+// Complete reports whether every shard has been ingested.
+func (w *CheckpointWriter) Complete() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.have == w.layout.Shards
+}
+
+// HaveRanges returns the ingested shards as maximal disjoint ranges in
+// ascending order — the compact have-set advertisement of the
+// reconciliation protocol: a reconnecting worker diffs its held shards
+// against these ranges and ships only what the coordinator is missing.
+func (w *CheckpointWriter) HaveRanges() []ShardRange {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var ranges []ShardRange
+	for s := 0; s < len(w.partials); {
+		if w.partials[s] == nil {
+			s++
+			continue
+		}
+		e := s + 1
+		for e < len(w.partials) && w.partials[e] != nil {
+			e++
+		}
+		ranges = append(ranges, ShardRange{Start: s, End: e})
+		s = e
+	}
+	return ranges
+}
+
+// Missing returns the shard indices not yet ingested, ascending.
+func (w *CheckpointWriter) Missing() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	missing := make([]int, 0, w.layout.Shards-w.have)
+	for s, p := range w.partials {
+		if p == nil {
+			missing = append(missing, s)
+		}
+	}
+	return missing
+}
+
+// Partials returns the ingested partials in shard order (no nils). Once
+// Complete, the slice is exactly what MergePartials wants.
+func (w *CheckpointWriter) Partials() []*ShardPartial {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ps := make([]*ShardPartial, 0, w.have)
+	for _, p := range w.partials {
+		if p != nil {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// Close closes the writer. The in-memory state stays readable
+// (HaveRanges, Partials, …) but further Adds fail. Idempotent.
+func (w *CheckpointWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.cp == nil {
+		return nil
+	}
+	return w.cp.close()
+}

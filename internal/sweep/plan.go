@@ -1,0 +1,308 @@
+package sweep
+
+// The exported shard-layout API: everything a distributed split needs
+// to hand shards of one grid to workers that share no memory with the
+// caller. A Layout is the portable identity of a sharded evaluation —
+// fingerprint plus geometry — and a ShardRange is a contiguous slice of
+// its shard space. PlanShards cuts the scheduled cell space into
+// chain-aligned units (a RunDelta chain never crosses a unit boundary,
+// so leasing whole units keeps delta reuse worker-local);
+// EvaluateShardRange evaluates any range against a layout it first
+// verifies; MergePartials folds a complete partial set back into the
+// same bytes EvaluateSharded would have produced. The single-box
+// evaluator (shard.go) dispatches through the same unit machinery, so
+// "distributed" and "local" are the same computation cut differently.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/runner"
+)
+
+// Layout is the portable identity and geometry of one sharded grid
+// evaluation. Two parties holding equal Layouts are guaranteed to mean
+// the same cell space, the same scheduled order, and the same shard
+// cuts — so shard indices, partials, and checkpoint records are
+// interchangeable between them, and nothing else is.
+type Layout struct {
+	Fingerprint string `json:"fingerprint"`
+	Cells       int    `json:"cells"`
+	Tasks       int    `json:"tasks"`
+	ShardSize   int    `json:"shard_size"`
+	Shards      int    `json:"shards"`
+}
+
+// ShardRange is a half-open range [Start, End) of shard indices.
+type ShardRange struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len returns the number of shards in the range.
+func (r ShardRange) Len() int { return r.End - r.Start }
+
+// geometry rejects a Layout whose fields cannot all be true at once.
+func (l *Layout) geometry() error {
+	if len(l.Fingerprint) != 16 {
+		return fmt.Errorf("sweep: malformed layout fingerprint %q", l.Fingerprint)
+	}
+	if l.Cells <= 0 || l.Tasks <= 0 || l.ShardSize <= 0 || l.Shards != numShards(l.Cells, l.ShardSize) {
+		return fmt.Errorf("sweep: inconsistent layout geometry (cells=%d tasks=%d shard_size=%d shards=%d)",
+			l.Cells, l.Tasks, l.ShardSize, l.Shards)
+	}
+	return nil
+}
+
+// check verifies the layout against the identity of a concretely
+// expanded grid. Mixing partials across layouts is the one mistake a
+// distributed split must make impossible, so the mismatch error is
+// loud and names both fingerprints.
+func (l *Layout) check(fingerprint string, cells, tasks int) error {
+	if err := l.geometry(); err != nil {
+		return err
+	}
+	if l.Fingerprint != fingerprint || l.Cells != cells || l.Tasks != tasks {
+		return fmt.Errorf("sweep: layout belongs to a different grid "+
+			"(layout fingerprint %s cells=%d tasks=%d; this grid is fingerprint %s cells=%d tasks=%d)",
+			l.Fingerprint, l.Cells, l.Tasks, fingerprint, cells, tasks)
+	}
+	return nil
+}
+
+// ValidatePartial checks one shard partial against the layout: shard
+// index in range, well-shaped arrays, task indices inside the task
+// space. It does not — cannot — verify the integer counts themselves;
+// the fingerprint binding is what guarantees an honest worker's counts
+// are the right ones.
+func (l *Layout) ValidatePartial(p *ShardPartial) error {
+	if p == nil {
+		return fmt.Errorf("sweep: nil shard partial")
+	}
+	if p.Shard < 0 || p.Shard >= l.Shards {
+		return fmt.Errorf("sweep: shard %d out of range [0,%d)", p.Shard, l.Shards)
+	}
+	if err := validatePartialShape(p); err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	for _, ti := range p.Tasks {
+		if ti >= l.Tasks {
+			return fmt.Errorf("sweep: shard %d: task %d out of range [0,%d)", p.Shard, ti, l.Tasks)
+		}
+	}
+	return nil
+}
+
+// pendingUnits cuts a sorted list of pending shard indices into
+// dispatch units: maximal runs of consecutive shards split wherever the
+// boundary position is handoff-free. A unit's shards are evaluated in
+// order by one worker, so every boundary *inside* a unit — exactly the
+// boundaries that cut a chain mid-group — has its tail fixed point
+// offered before the continuation runs. That turns cross-shard delta
+// handoff from opportunistic into deterministic: on a fresh run every
+// take hits. Identity schedules have only free boundaries, so units
+// degenerate to single shards and the historical per-shard dispatch.
+func pendingUnits(sched *schedule, pending []int, size int) []ShardRange {
+	var units []ShardRange
+	for i := 0; i < len(pending); {
+		j := i + 1
+		for j < len(pending) && pending[j] == pending[j-1]+1 && !sched.handoffFree(pending[j]*size) {
+			j++
+		}
+		units = append(units, ShardRange{Start: pending[i], End: pending[j-1] + 1})
+		i = j
+	}
+	return units
+}
+
+// PlanShards validates the grid on g and returns its shard Layout plus
+// the chain-aligned dispatch units covering the whole shard space
+// (shardSize ≤ 0 means DefaultShardSize). A coordinator leases whole
+// units — or contiguous runs of them — so RunDelta chains stay local to
+// the worker holding the lease.
+func (gr *Grid) PlanShards(g *asgraph.Graph, shardSize int) (*Layout, []ShardRange, error) {
+	ax, err := gr.expand()
+	if err != nil {
+		return nil, nil, err
+	}
+	sched := newSchedule(gr, ax)
+	size := shardSize
+	if size <= 0 {
+		size = DefaultShardSize
+	}
+	l := &Layout{
+		Fingerprint: gr.fingerprint(g, ax, sched),
+		Cells:       ax.cells,
+		Tasks:       ax.tasks,
+		ShardSize:   size,
+		Shards:      numShards(ax.cells, size),
+	}
+	all := make([]int, l.Shards)
+	for s := range all {
+		all[s] = s
+	}
+	return l, pendingUnits(sched, all, size), nil
+}
+
+// RangeOptions configures EvaluateShardRange.
+type RangeOptions struct {
+	// Sink observes every completed shard's partial, exactly once, after
+	// it is fully evaluated. Called serially; a non-nil error aborts the
+	// evaluation. Delivery order is scheduling-dependent.
+	Sink func(*ShardPartial) error
+
+	// Stats, when non-nil, accumulates dispatch and handoff counters.
+	Stats *ShardStats
+
+	// Pool overrides the grid's EnginePool for this range — the
+	// warm-engine hook for a worker evaluating many leases of one job.
+	Pool *EnginePool
+}
+
+// EvaluateShardRange evaluates the shards [r.Start, r.End) of the
+// grid's layout on g, streaming each completed partial to opts.Sink.
+// The layout is verified against the grid first — a layout from a
+// different grid (or the same grid under a different schedule) is
+// rejected with a fingerprint mismatch rather than evaluated into
+// meaningless shard indices. This is the worker half of a distributed
+// evaluation: partials it emits merge byte-identically with partials
+// from any other worker holding the same layout.
+func (gr *Grid) EvaluateShardRange(ctx context.Context, g *asgraph.Graph, l *Layout, r ShardRange, opts RangeOptions) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ax, err := gr.expand()
+	if err != nil {
+		return err
+	}
+	sched := newSchedule(gr, ax)
+	if err := l.check(gr.fingerprint(g, ax, sched), ax.cells, ax.tasks); err != nil {
+		return err
+	}
+	if r.Start < 0 || r.End > l.Shards || r.Start >= r.End {
+		return fmt.Errorf("sweep: shard range [%d,%d) invalid for layout with %d shards", r.Start, r.End, l.Shards)
+	}
+	if opts.Pool != nil {
+		shadow := *gr
+		shadow.Pool = opts.Pool
+		gr = &shadow
+	}
+	pending := make([]int, 0, r.Len())
+	for s := r.Start; s < r.End; s++ {
+		pending = append(pending, s)
+	}
+	return gr.evaluatePending(ctx, g, ax, sched, l.ShardSize, pending, opts.Stats, func(p *ShardPartial) error {
+		if opts.Sink != nil {
+			return opts.Sink(p)
+		}
+		return nil
+	})
+}
+
+// MergePartials folds a complete set of shard partials — one per shard
+// of the layout, in any order — into the grid's Result. The layout is
+// verified against the grid, every partial is validated, and duplicate
+// or missing shards are errors: the caller (a coordinator reconciling
+// worker submissions) is expected to have already deduplicated by shard
+// index. The positional integer merge makes the Result byte-identical
+// to EvaluateSharded regardless of which worker produced which shard.
+func (gr *Grid) MergePartials(g *asgraph.Graph, l *Layout, partials []*ShardPartial) (*Result, error) {
+	ax, err := gr.expand()
+	if err != nil {
+		return nil, err
+	}
+	sched := newSchedule(gr, ax)
+	if err := l.check(gr.fingerprint(g, ax, sched), ax.cells, ax.tasks); err != nil {
+		return nil, err
+	}
+	seen := make([]bool, l.Shards)
+	acc := make([]destAcc, ax.tasks)
+	for _, p := range partials {
+		if err := l.ValidatePartial(p); err != nil {
+			return nil, err
+		}
+		if seen[p.Shard] {
+			return nil, fmt.Errorf("sweep: duplicate partial for shard %d", p.Shard)
+		}
+		seen[p.Shard] = true
+		for i, ti := range p.Tasks {
+			acc[ti].lo += p.Lo[i]
+			acc[ti].hi += p.Hi[i]
+			acc[ti].pairs += p.Pairs[i]
+		}
+	}
+	for s, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("sweep: missing partial for shard %d", s)
+		}
+	}
+	return gr.reduce(g, ax, acc), nil
+}
+
+// evaluatePending is the dispatch loop shared by EvaluateSharded and
+// EvaluateShardRange: the pending shards are cut into chain-ordered
+// units, the units fan out over the worker pool, and each completed
+// shard's partial is committed serially under a mutex. A commit error
+// aborts the remaining shards promptly, and a shard finishing after
+// cancellation (or after a failed commit) is discarded — once ctx.Err()
+// is set, commit is never called again, so a sink that cancels the
+// context can rely on seeing no further partials.
+func (gr *Grid) evaluatePending(ctx context.Context, g *asgraph.Graph, ax *axes, sched *schedule, size int, pending []int, stats *ShardStats, commit func(p *ShardPartial) error) error {
+	units := pendingUnits(sched, pending, size)
+
+	// Chain tail handoffs across unit-internal shard boundaries
+	// (chain-major schedules only; the identity schedule never splits a
+	// chain, and its units are single shards anyway).
+	var h *handoff
+	if !sched.identity() {
+		h = newHandoff()
+	}
+
+	// abort lets a commit failure stop the remaining shards without
+	// waiting for the whole grid.
+	ctx, abort := context.WithCancel(ctx)
+	defer abort()
+	var mu sync.Mutex
+	var commitErr error
+	err := runner.ForEach(ctx, len(units), gr.Workers, gr.newWorkerState,
+		func(ws *workerState, ui int) {
+			u := units[ui]
+			for s := u.Start; s < u.End; s++ {
+				start := s * size
+				end := start + size
+				if end > ax.cells {
+					end = ax.cells
+				}
+				p, ok := gr.evaluateShardPartial(ctx, g, ws, sched, h, s, start, end)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if commitErr != nil || ctx.Err() != nil {
+					mu.Unlock()
+					return
+				}
+				if cerr := commit(p); cerr != nil {
+					commitErr = cerr
+					mu.Unlock()
+					abort()
+					return
+				}
+				mu.Unlock()
+			}
+		})
+	if stats != nil {
+		stats.Units += len(units)
+		if h != nil {
+			hits, misses := h.counts()
+			stats.HandoffHits += hits
+			stats.HandoffMisses += misses
+		}
+	}
+	if commitErr != nil {
+		return commitErr
+	}
+	return err
+}

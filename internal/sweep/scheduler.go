@@ -88,6 +88,23 @@ func (s *schedule) chainAt(p int) int {
 	return sort.SearchInts(s.blockStart[1:], p+1)
 }
 
+// handoffFree reports whether a cut at scheduled position p splits no
+// group run: position p starts a fresh (chain, model, destination,
+// attacker) group, so no chain tail fixed point needs to cross a shard
+// boundary placed there. On the identity schedule there are no group
+// runs and every boundary is free; chain-major boundaries are free
+// exactly when p is a multiple of the chain length within its block.
+// The shard dispatcher cuts its chain-ordered units at free boundaries,
+// which is what makes handoff reuse deterministic instead of
+// opportunistic.
+func (s *schedule) handoffFree(p int) bool {
+	if s.plan == nil {
+		return true
+	}
+	ci := s.chainAt(p)
+	return (p-s.blockStart[ci])%len(s.plan.chains[ci]) == 0
+}
+
 // numRanges returns how many dispatch units the flat evaluator splits
 // the schedule into: one per (deployment, model, destination) task on
 // the identity schedule — the historical granularity — and one per
@@ -127,6 +144,12 @@ type handoff struct {
 	mu   sync.Mutex
 	m    map[int]*core.Outcome
 	done map[int]bool
+	// hits counts takes that found an offered fixed point; misses counts
+	// takes that had to re-run the chain head from scratch. With
+	// chain-ordered unit dispatch every boundary cut mid-chain is
+	// evaluated offer-before-take, so misses stays zero on fresh runs —
+	// the counters make that claim testable.
+	hits, misses int
 }
 
 func newHandoff() *handoff {
@@ -160,10 +183,19 @@ func (h *handoff) take(pos int) *core.Outcome {
 	defer h.mu.Unlock()
 	if o, ok := h.m[pos]; ok {
 		delete(h.m, pos)
+		h.hits++
 		return o
 	}
 	h.done[pos] = true
+	h.misses++
 	return nil
+}
+
+// counts returns the hit/miss tallies accumulated so far.
+func (h *handoff) counts() (hits, misses int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.hits, h.misses
 }
 
 // evaluateRange evaluates the scheduled positions [start, end), calling

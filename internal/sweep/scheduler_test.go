@@ -241,11 +241,37 @@ func TestChainMajorInterruptResume(t *testing.T) {
 	}
 }
 
+// expectedHandoffTakes counts the shard boundaries of a fresh sharded
+// run that cut a chain group mid-walk for a valid (m ≠ d) pair — each
+// one is exactly one handoff take, and with chain-ordered unit dispatch
+// each must be a hit.
+func expectedHandoffTakes(gr *Grid, ax *axes, sched *schedule, size int) int {
+	takes := 0
+	for s := 1; s < numShards(ax.cells, size); s++ {
+		p := s * size
+		if sched.handoffFree(p) {
+			continue
+		}
+		ci := sched.chainAt(p)
+		clen := len(sched.plan.chains[ci])
+		gi := (p - sched.blockStart[ci]) / clen
+		rem := gi % (ax.nd * ax.na)
+		di, ai := rem/ax.na, rem%ax.na
+		if gr.Attackers[ai] == gr.Destinations[di] {
+			continue
+		}
+		takes++
+	}
+	return takes
+}
+
 // TestCrossShardHandoffEquivalence drives the tail handoff hard: shard
 // sizes that cut every chain mid-walk (including size 1, where every
 // cell is its own shard and every chain step crosses a boundary) must
 // reproduce the flat evaluation byte for byte, with and without a
-// checkpoint in the loop.
+// checkpoint in the loop. The stats assertions pin the deterministic
+// dispatch contract: on a fresh run every boundary that cuts a chain is
+// interior to one dispatch unit, so every take hits and none misses.
 func TestCrossShardHandoffEquivalence(t *testing.T) {
 	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 29})
 	var want bytes.Buffer
@@ -253,9 +279,29 @@ func TestCrossShardHandoffEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, size := range []int{1, 2, 3, 5} {
-		res, err := chainedGrid(g, IncrementalAuto).EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: size})
+		gr := chainedGrid(g, IncrementalAuto)
+		ax, err := gr.expand()
 		if err != nil {
 			t.Fatal(err)
+		}
+		sched := newSchedule(gr, ax)
+		wantHits := expectedHandoffTakes(gr, ax, sched, size)
+		if wantHits == 0 {
+			t.Fatalf("shard size %d: test grid exercises no cross-shard handoffs", size)
+		}
+		var stats ShardStats
+		res, err := gr.EvaluateSharded(context.Background(), g, ShardOptions{ShardSize: size, Stats: &stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.HandoffMisses != 0 {
+			t.Errorf("shard size %d: %d handoff misses on a fresh run, want 0", size, stats.HandoffMisses)
+		}
+		if stats.HandoffHits != wantHits {
+			t.Errorf("shard size %d: %d handoff hits, want %d", size, stats.HandoffHits, wantHits)
+		}
+		if stats.Units <= 0 || stats.Units > numShards(ax.cells, size) {
+			t.Errorf("shard size %d: implausible unit count %d", size, stats.Units)
 		}
 		var got bytes.Buffer
 		if err := res.WriteJSON(&got); err != nil {
@@ -265,7 +311,7 @@ func TestCrossShardHandoffEquivalence(t *testing.T) {
 			t.Errorf("shard size %d: handoff result diverges from flat evaluation", size)
 		}
 		ckpt := filepath.Join(t.TempDir(), "handoff.ckpt")
-		cres, err := chainedGrid(g, IncrementalAuto).EvaluateSharded(context.Background(), g, ShardOptions{
+		cres, err := gr.EvaluateSharded(context.Background(), g, ShardOptions{
 			ShardSize:  size,
 			Checkpoint: ckpt,
 		})

@@ -6,10 +6,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"sync"
 
 	"sbgp/internal/asgraph"
-	"sbgp/internal/runner"
 )
 
 // DefaultShardSize is the cell count per shard when ShardOptions leaves
@@ -50,6 +48,28 @@ type ShardOptions struct {
 	// evaluation. Fresh-shard delivery order is scheduling-dependent —
 	// only the merged Result is deterministic.
 	Sink func(*ShardPartial) error
+
+	// Stats, when non-nil, accumulates dispatch-unit and handoff
+	// counters for the evaluation.
+	Stats *ShardStats
+}
+
+// ShardStats reports how a sharded evaluation was dispatched and how
+// often cross-shard chain handoff reused a fixed point instead of
+// re-running a chain head. With chain-ordered unit dispatch, a fresh
+// run (no resumed shards) has HandoffMisses == 0 by construction; a
+// resume can miss at unit starts whose predecessor shard completed in
+// an earlier run.
+type ShardStats struct {
+	// Units is the number of dispatch units the pending shards were cut
+	// into (see pendingUnits).
+	Units int
+	// HandoffHits counts chain continuations that resumed from an
+	// offered tail fixed point via RunDelta.
+	HandoffHits int
+	// HandoffMisses counts chain continuations that re-ran their head
+	// from scratch because no fixed point had been offered yet.
+	HandoffMisses int
 }
 
 // ShardPartial is one completed shard's exact partial aggregate: for
@@ -260,60 +280,25 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 		}
 	}
 
-	// Chain tail handoffs across shard boundaries (chain-major
-	// schedules only; the identity schedule never splits a chain).
-	var h *handoff
-	if !sched.identity() {
-		h = newHandoff()
-	}
-
-	// abort lets a checkpoint or sink failure stop the remaining shards
-	// without waiting for the whole grid.
-	ctx, abort := context.WithCancel(ctx)
-	defer abort()
-	var mu sync.Mutex
-	var sinkErr error
-	err = runner.ForEach(ctx, len(pending), gr.Workers, gr.newWorkerState,
-		func(ws *workerState, pi int) {
-			s := pending[pi]
-			start := s * size
-			end := start + size
-			if end > ax.cells {
-				end = ax.cells
-			}
-			p, ok := gr.evaluateShardPartial(ctx, g, ws, sched, h, s, start, end)
-			if !ok {
-				return
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			// A shard that completed only after cancellation is discarded:
-			// once ctx.Err() is set, neither the checkpoint nor the sink may
-			// observe another partial (the shard simply re-runs on resume).
-			// Checked under mu, so a sink that cancels the context is
-			// guaranteed to never be called again.
-			if sinkErr != nil || ctx.Err() != nil {
-				return
-			}
+	// The shared unit dispatcher (plan.go) cuts the pending shards into
+	// chain-ordered units and commits each completed partial —
+	// checkpoint record first, then sink — exactly as the distributed
+	// range evaluator does.
+	err = gr.evaluatePending(ctx, g, ax, sched, size, pending, opts.Stats,
+		func(p *ShardPartial) error {
 			if cp != nil {
 				if err := cp.append(p); err != nil {
-					sinkErr = err
-					abort()
-					return
+					return err
 				}
 			}
 			if opts.Sink != nil {
 				if err := opts.Sink(p); err != nil {
-					sinkErr = err
-					abort()
-					return
+					return err
 				}
 			}
-			partials[s] = p
+			partials[p.Shard] = p
+			return nil
 		})
-	if sinkErr != nil {
-		return nil, sinkErr
-	}
 	if err != nil {
 		return nil, err
 	}

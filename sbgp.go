@@ -393,6 +393,39 @@ func EvaluateGridSharded(ctx context.Context, gr *Grid, g *Graph, opts ShardOpti
 	return gr.EvaluateSharded(ctx, g, opts)
 }
 
+// ShardLayout is the portable identity and geometry of a sharded grid
+// evaluation: the grid fingerprint plus (cells, tasks, shard size,
+// shard count). Two parties holding equal layouts mean the same cell
+// space cut the same way, so shard indices and partials are
+// interchangeable between them — the invariant the distributed
+// coordinator/worker split is built on.
+type ShardLayout = sweep.Layout
+
+// ShardRange is a half-open range [Start, End) of shard indices — the
+// unit of distributed leasing.
+type ShardRange = sweep.ShardRange
+
+// ShardStats reports dispatch-unit and cross-shard handoff counters
+// for a sharded or ranged evaluation.
+type ShardStats = sweep.ShardStats
+
+// ShardRangeOptions configures Grid range evaluation
+// (Simulation.EvaluateJobShards): a streaming partial sink, optional
+// stats, and an overriding EnginePool.
+type ShardRangeOptions = sweep.RangeOptions
+
+// CheckpointWriter ingests shard partials idempotently (by shard
+// index) into the same fsync'd checkpoint format the sharded
+// evaluator's resume reads — the coordinator's reconcile sink.
+type CheckpointWriter = sweep.CheckpointWriter
+
+// OpenCheckpointWriter opens a CheckpointWriter for a layout. A
+// non-empty path makes it durable (and resumable when resume is set);
+// an empty path keeps the ingested partials in memory only.
+func OpenCheckpointWriter(path string, l *ShardLayout, resume bool) (*CheckpointWriter, error) {
+	return sweep.OpenCheckpointWriter(path, l, resume)
+}
+
 // EnginePool recycles per-worker engine state across grid evaluations
 // sharing one (topology, local-preference) pair — the warm-engine cache
 // behind the resident daemon. Results are byte-identical with or

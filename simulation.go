@@ -36,6 +36,10 @@ type Simulation struct {
 	jobSpec    *JobSpec
 	jobSpecErr error
 
+	// coordinator, when non-nil (WithCoordinator), is the distributed
+	// evaluation backend EvaluateJobDistributed hands the job to.
+	coordinator JobCoordinator
+
 	// deployments is the sweep axis (primary first); the implicit
 	// baseline is prepended at sweep time.
 	deployments []GridDeployment
@@ -317,4 +321,61 @@ func (s *Simulation) EvaluateJob(opts JobEvalOptions) (*Result, error) {
 		Resume:     opts.Resume || s.resume,
 		Sink:       opts.Sink,
 	})
+}
+
+// JobShardPlan returns the scenario job's shard layout — the portable
+// identity a coordinator publishes and every worker verifies — plus the
+// chain-aligned dispatch units covering its shard space (leases cut on
+// unit boundaries keep RunDelta chains worker-local). The layout's
+// fingerprint is the same one EvaluateJob's checkpoint carries, so a
+// coordinator's checkpoint and a single-box checkpoint are the same
+// file format with the same identity.
+func (s *Simulation) JobShardPlan() (*ShardLayout, []ShardRange, error) {
+	ms, ds := s.JobPairs()
+	return s.grid(ms, ds).PlanShards(s.g, s.shardSize)
+}
+
+// EvaluateJobShards evaluates one shard range of the scenario job
+// against a layout, streaming each completed shard's exact partial to
+// opts.Sink — the worker half of a distributed evaluation. A layout
+// minted by a different job is refused with a fingerprint mismatch.
+func (s *Simulation) EvaluateJobShards(l *ShardLayout, r ShardRange, opts ShardRangeOptions) error {
+	ms, ds := s.JobPairs()
+	return s.grid(ms, ds).EvaluateShardRange(s.ctx, s.g, l, r, opts)
+}
+
+// MergeJobPartials folds a complete, deduplicated set of shard partials
+// (one per shard of the layout, any order) into the job's Result —
+// byte-identical to EvaluateJob no matter which workers produced which
+// shards.
+func (s *Simulation) MergeJobPartials(l *ShardLayout, partials []*ShardPartial) (*Result, error) {
+	ms, ds := s.JobPairs()
+	return s.grid(ms, ds).MergePartials(s.g, l, partials)
+}
+
+// JobCoordinator is a distributed evaluation backend: something that
+// can take a serializable job spec and produce its Result by farming
+// shard ranges out to workers (internal/dist's Coordinator is the
+// in-tree implementation, wired through cmd/sbgpd's -dist mode). The
+// options carry the same checkpoint/resume/sink hooks EvaluateJob
+// honors; Pool is ignored (workers own their engine state).
+type JobCoordinator interface {
+	EvaluateJobSpec(ctx context.Context, spec *JobSpec, opts JobEvalOptions) (*Result, error)
+}
+
+// EvaluateJobDistributed runs the scenario job through the attached
+// coordinator (WithCoordinator) instead of evaluating locally. The
+// scenario must be expressible as a JobSpec — workers rebuild the
+// simulation from the spec, so in-memory graphs and prebuilt
+// deployments cannot ride along. Results are byte-identical to
+// EvaluateJob.
+func (s *Simulation) EvaluateJobDistributed(opts JobEvalOptions) (*Result, error) {
+	if s.coordinator == nil {
+		return nil, fmt.Errorf("sbgp: no coordinator attached (use WithCoordinator)")
+	}
+	spec, err := s.JobSpec()
+	if err != nil {
+		return nil, err
+	}
+	return s.coordinator.EvaluateJobSpec(s.ctx, spec, opts)
 }
