@@ -117,7 +117,8 @@ func run(w io.Writer, dir string, threshold float64, args []string) (int, error)
 			marker = "  <-- regression"
 			regressions++
 		}
-		fmt.Fprintf(w, "%-60s %14.0f → %14.0f ns/op  %+7.1f%%%s\n", nb.Name, ob.NsPerOp, nb.NsPerOp, pct, marker)
+		fmt.Fprintf(w, "%-60s %14.0f → %14.0f ns/op  %+7.1f%%  %8.0f → %8.0f allocs/op%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, pct, ob.AllocsPerOp, nb.AllocsPerOp, marker)
 	}
 	for _, name := range onlyNew {
 		fmt.Fprintf(w, "%-60s (new benchmark)\n", name)

@@ -53,15 +53,32 @@ import (
 	"sbgp/internal/service"
 )
 
+// validateFlags rejects lease-protocol settings that would cripple the
+// coordinator before the daemon starts serving: a non-positive TTL
+// would expire every lease the instant it was granted, and a
+// non-positive shard target would grant empty leases.
+func validateFlags(leaseTTL time.Duration, leaseShards int) error {
+	if leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl must be positive, got %v (a non-positive TTL expires every lease instantly)", leaseTTL)
+	}
+	if leaseShards <= 0 {
+		return fmt.Errorf("-lease-shards must be positive, got %d", leaseShards)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sbgpd: ")
 	addr := flag.String("addr", "127.0.0.1:8379", "listen address (use :0 for an ephemeral port)")
 	dataDir := flag.String("data", "sbgpd-data", "data directory (job store, checkpoints, results)")
 	distMode := flag.Bool("dist", false, "evaluate jobs through remote sbgpworker processes (mounts the coordinator API under /dist/v1/)")
-	leaseTTL := flag.Duration("lease-ttl", 0, "with -dist: heartbeat deadline before a worker's lease is re-issued (default 15s)")
-	leaseShards := flag.Int("lease-shards", 0, "with -dist: target shards per lease (default 16)")
+	leaseTTL := flag.Duration("lease-ttl", 15*time.Second, "with -dist: heartbeat deadline before a worker's lease is re-issued")
+	leaseShards := flag.Int("lease-shards", 16, "with -dist: target shards per lease")
 	flag.Parse()
+	if err := validateFlags(*leaseTTL, *leaseShards); err != nil {
+		log.Fatal(err)
+	}
 
 	var opts service.Options
 	var coord *dist.Coordinator

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		leaseTTL    time.Duration
+		leaseShards int
+		wantErr     string // substring, "" means valid
+	}{
+		{"defaults", 15 * time.Second, 16, ""},
+		{"tuned", time.Minute, 1, ""},
+		{"zero ttl", 0, 16, "-lease-ttl must be positive"},
+		{"negative ttl", -time.Second, 16, "-lease-ttl must be positive"},
+		{"zero shards", 15 * time.Second, 0, "-lease-shards must be positive"},
+		{"negative shards", 15 * time.Second, -4, "-lease-shards must be positive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.leaseTTL, tc.leaseShards)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

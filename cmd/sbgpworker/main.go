@@ -27,22 +27,36 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"sbgp/internal/dist"
 )
 
+// validateFlags rejects settings that would wedge the worker before it
+// contacts a coordinator: zero parallelism evaluates nothing, and a
+// negative value is never a CPU count.
+func validateFlags(workers int) error {
+	if workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", workers)
+	}
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sbgpworker: ")
 	coordinator := flag.String("coordinator", "http://127.0.0.1:8379", "coordinator base URL")
 	id := flag.String("id", "", "worker name in lease requests (default: hostname-pid)")
-	workers := flag.Int("workers", 0, "evaluation parallelism per lease (0: library default)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "evaluation parallelism per lease")
 	poll := flag.Duration("poll", 500*time.Millisecond, "poll interval while idle or disconnected")
 	oneshot := flag.Bool("oneshot", false, "serve one job to completion, then exit")
 	throttle := flag.Duration("throttle", 0, "artificial delay per evaluated shard (chaos/smoke testing)")
 	flag.Parse()
+	if err := validateFlags(*workers); err != nil {
+		log.Fatal(err)
+	}
 
 	name := *id
 	if name == "" {

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		wantErr string // substring, "" means valid
+	}{
+		{"one", 1, ""},
+		{"many", 64, ""},
+		{"zero", 0, "-workers must be positive"},
+		{"negative", -2, "-workers must be positive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.workers)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

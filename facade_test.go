@@ -327,6 +327,49 @@ func TestSweepShardedFacade(t *testing.T) {
 	}
 }
 
+// TestEvaluationFacade exercises the reusable-evaluation re-export:
+// repeated Runs of one prepared Evaluation must match the one-shot
+// Grid.Evaluate bytes exactly, run after run.
+func TestEvaluationFacade(t *testing.T) {
+	g, _, err := sbgp.GenerateTopology(sbgp.TopologyParams{N: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := sbgp.AllASes(g.N())
+	grid := &sbgp.Grid{
+		Models:       []sbgp.Model{sbgp.Sec2nd},
+		Attackers:    all[:8],
+		Destinations: all[:8],
+		Workers:      2,
+	}
+	want, err := grid.Evaluate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a bytes.Buffer
+	if err := want.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := grid.NewEvaluation(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ *sbgp.Evaluation = ev
+	for i := 0; i < 3; i++ {
+		res, err := ev.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := res.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("Evaluation.Run %d diverges from Grid.Evaluate", i)
+		}
+	}
+}
+
 // TestFacadeRawConstruction builds a topology, deployment, and engine
 // purely through the root package — the only path available to
 // consumers outside this module, which cannot import

@@ -97,6 +97,11 @@ func (l Label) String() string {
 // (destination, attacker, deployment) triple. Slices are indexed by AS
 // and owned by the Engine: an Outcome is valid only until the Engine's
 // next Run. Use Clone to retain one.
+//
+// The five arrays are sections of one structure-of-arrays slab (see
+// slab.go) in every outcome the package itself builds; code that fills
+// an Outcome field-by-field with separate slices remains valid, just
+// slower to allocate.
 type Outcome struct {
 	Dst      asgraph.AS
 	Attacker asgraph.AS // None for normal conditions
@@ -116,15 +121,19 @@ type Outcome struct {
 	Next []asgraph.AS
 }
 
-// Clone returns an independent copy of the outcome.
+// Clone returns an independent copy of the outcome. The copy's arrays
+// share one backing allocation (see slab.go), so retaining many clones
+// — chained sweeps keep one per in-flight chain — costs one allocation
+// each instead of five.
 func (o *Outcome) Clone() *Outcome {
-	c := *o
-	c.Class = append([]policy.Class(nil), o.Class...)
-	c.Len = append([]int32(nil), o.Len...)
-	c.Secure = append([]bool(nil), o.Secure...)
-	c.Label = append([]Label(nil), o.Label...)
-	c.Next = append([]asgraph.AS(nil), o.Next...)
-	return &c
+	c := &Outcome{Dst: o.Dst, Attacker: o.Attacker}
+	c.attachSlab(len(o.Class))
+	copy(c.Class, o.Class)
+	copy(c.Len, o.Len)
+	copy(c.Secure, o.Secure)
+	copy(c.Label, o.Label)
+	copy(c.Next, o.Next)
+	return c
 }
 
 // IsSource reports whether v is a source AS for metric purposes (neither

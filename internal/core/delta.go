@@ -113,7 +113,8 @@ func (e *Engine) RunDelta(prev *Outcome, added, removed []asgraph.AS, dep *Deplo
 	// without touching engine state: roots are compared against prev to
 	// seed the dirty set and re-planted verbatim on every pass.
 	e.deltaSeeds = e.deltaSeeds[:0]
-	atk.Seed(&Seeder{capture: &e.deltaSeeds, Dst: d, Attacker: m, Dep: dep})
+	e.seeder = Seeder{capture: &e.deltaSeeds, Dst: d, Attacker: m, Dep: dep}
+	atk.Seed(&e.seeder)
 	seededDst := false
 	for _, r := range e.deltaSeeds {
 		if r.v == d {
@@ -352,17 +353,13 @@ func (e *Engine) seedSecureReverse(prev *Outcome, removed []asgraph.AS) {
 func (e *Engine) resetDirty() {
 	if e.inDirty == nil {
 		n := e.g.N()
-		e.inDirty = make([]bool, n)
-		e.prevOut = Outcome{
-			Class:  make([]policy.Class, n),
-			Len:    make([]int32, n),
-			Secure: make([]bool, n),
-			Label:  make([]Label, n),
-			Next:   make([]asgraph.AS, n),
-		}
+		// One arena for the dirty bitmap, the degree table, and the
+		// reverse-reachability states; one slab for the per-AS snapshot
+		// outcome. Both live for the engine's lifetime.
+		e.attachDeltaScratch(n)
+		e.prevOut.attachSlab(n)
 		// Per-AS adjacency degrees and their total, the units of the
 		// edge-volume fallback bound (overDeltaThreshold).
-		e.deg = make([]int32, n)
 		for v := 0; v < n; v++ {
 			u := asgraph.AS(v)
 			d := len(e.g.Providers(u)) + len(e.g.Customers(u)) + len(e.g.Peers(u))

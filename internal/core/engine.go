@@ -36,18 +36,30 @@ type Engine struct {
 	// baselines.
 	fullClear bool
 
+	// out's five per-AS arrays live in one structure-of-arrays slab
+	// allocated at construction (slab.go) and reused by every run.
 	out Outcome
+
+	// seeder is the reusable Attack seeding surface: RunAttack and
+	// RunDelta repopulate it instead of allocating one per run (the
+	// interface call would otherwise force a heap Seeder every run).
+	seeder Seeder
 
 	fixedList []asgraph.AS // ASes fixed so far, in fixing order
 	buckets   [][]asgraph.AS
 	touched   []asgraph.AS // peer-stage work list
-	inTouch   []bool
+	inTouch   []bool       // carved from the scratch arena (attachScratch)
 
 	// off[u] accumulates the candidate routes offered to u during the
 	// current stage; stageEpoch validates entries so starting a stage
-	// costs O(1) instead of O(n).
+	// costs O(1) instead of O(n). Carved from the scratch arena.
 	off        []offerAcc
 	stageEpoch uint32
+
+	// treeMaxLevel is the highest non-empty bucket level of the tree
+	// stage currently running (reset per stage; a field rather than a
+	// local so bucketPush stays a closure-free method).
+	treeMaxLevel int
 
 	// Incremental-run scratch (RunDelta; see delta.go). inDirty and
 	// prevOut are allocated on first use so engines that never run
@@ -177,19 +189,12 @@ func NewEngine(g *asgraph.Graph, m policy.Model, opts ...Option) *Engine {
 func NewEngineLP(g *asgraph.Graph, m policy.Model, lp policy.LocalPref, opts ...Option) *Engine {
 	n := g.N()
 	e := &Engine{
-		g:    g,
-		plan: policy.PlanFor(m, lp),
-		out: Outcome{
-			Class:  make([]policy.Class, n),
-			Len:    make([]int32, n),
-			Secure: make([]bool, n),
-			Label:  make([]Label, n),
-			Next:   make([]asgraph.AS, n),
-		},
-		inTouch:   make([]bool, n),
-		off:       make([]offerAcc, n),
+		g:         g,
+		plan:      policy.PlanFor(m, lp),
 		deltaFrac: DefaultDeltaThreshold,
 	}
+	e.out.attachSlab(n)
+	e.attachScratch(n)
 	for _, o := range opts {
 		o(e)
 	}
@@ -255,7 +260,8 @@ func (e *Engine) RunAttack(d, m asgraph.AS, dep *Deployment, atk Attack) *Outcom
 	}
 	e.fixedList = e.fixedList[:0]
 
-	atk.Seed(&Seeder{e: e, Dst: d, Attacker: m, Dep: dep})
+	e.seeder = Seeder{e: e, Dst: d, Attacker: m, Dep: dep}
+	atk.Seed(&e.seeder)
 	if !e.fixed(d) {
 		panic("core: attack did not seed the destination")
 	}
@@ -275,14 +281,17 @@ func (e *Engine) RunAttack(d, m asgraph.AS, dep *Deployment, atk Attack) *Outcom
 
 // resetAll installs the cleared no-route state in every entry. It runs
 // once at construction; after that, rollback keeps the invariant that
-// entries outside fixedList are already clear.
+// entries outside fixedList are already clear. One sequential pass per
+// slab section, not one scattered pass over all five.
 func (e *Engine) resetAll() {
 	o := &e.out
 	for i := range o.Class {
 		o.Class[i] = policy.ClassNone
-		o.Len[i] = 0
-		o.Secure[i] = false
-		o.Label[i] = LabelNone
+	}
+	clear(o.Len)
+	clear(o.Secure)
+	clear(o.Label)
+	for i := range o.Next {
 		o.Next[i] = asgraph.None
 	}
 }
@@ -507,6 +516,84 @@ func (e *Engine) fixPeerFromOffer(u asgraph.AS, st policy.Stage, dep *Deployment
 	e.fixedList = append(e.fixedList, u)
 }
 
+// bucketPush queues u in the bucket for the given route length, growing
+// the bucket array as needed (bucket slices are retained across runs, so
+// growth is a warm-up cost, not a steady-state one).
+func (e *Engine) bucketPush(u asgraph.AS, level int32) {
+	l := int(level)
+	for len(e.buckets) <= l {
+		e.buckets = append(e.buckets, nil)
+	}
+	e.buckets[l] = append(e.buckets[l], u)
+	if l > e.treeMaxLevel {
+		e.treeMaxLevel = l
+	}
+}
+
+// treeTrigger offers w's freshly fixed route to w's still-unfixed
+// out-neighbors; tryOffer queues a neighbor only when its minimal
+// offered length changes, so duplicate bucket entries are rare.
+func (e *Engine) treeTrigger(w asgraph.AS, st policy.Stage, dep *Deployment, up bool) {
+	o := &e.out
+	if st.SecureOnly && !o.Secure[w] {
+		return // an insecure route cannot seed a fully secure one
+	}
+	var outNbrs []asgraph.AS
+	if up {
+		if !e.exportsWide(w) {
+			return
+		}
+		outNbrs = e.g.Providers(w)
+	} else {
+		outNbrs = e.g.Customers(w)
+	}
+	for _, u := range outNbrs {
+		if !e.fixed(u) && e.admissible(st, u, w, dep) && e.tryOffer(u, w, st, dep) {
+			e.bucketPush(u, o.Len[w]+1)
+		}
+	}
+}
+
+// treeSeedIn gathers the offers an unfixed u can already receive from
+// its fixed in-neighbors and queues u at its minimal offered length.
+func (e *Engine) treeSeedIn(u asgraph.AS, st policy.Stage, dep *Deployment, up bool) {
+	if st.SecureOnly && !dep.FullSecure(u) {
+		return // u cannot validate, so it can never fix here
+	}
+	o := &e.out
+	var inNbrs []asgraph.AS
+	if up {
+		inNbrs = e.g.Customers(u)
+	} else {
+		inNbrs = e.g.Providers(u)
+	}
+	for _, w := range inNbrs {
+		if !e.fixed(w) || (up && !e.exportsWide(w)) {
+			continue
+		}
+		if st.SecureOnly && !o.Secure[w] {
+			continue
+		}
+		if e.admissible(st, u, w, dep) {
+			e.tryOffer(u, w, st, dep)
+		}
+	}
+	if acc := &e.off[u]; acc.ep == e.stageEpoch {
+		e.bucketPush(u, acc.len)
+	}
+}
+
+// stageBatch is the number of same-length bucket entries fixed before
+// their triggers run. Fixing a batch reads each member's accumulator —
+// sequential passes over the off/out slabs — and only then walks the
+// batch's adjacency lists to make its offers, instead of interleaving
+// one accumulator read with one adjacency walk per AS. The split is
+// exact: within a bucket level every trigger offers at level+1 only, so
+// no offer made by a batch can change a decision inside that batch, and
+// accumulator merges commute, so the offer order within the level is
+// irrelevant.
+const stageBatch = 64
+
 // runTreeStage executes a customer-route stage (up == true: BFS upward
 // along customer→provider edges; the FCR/FSCR subroutines) or a
 // provider-route stage (up == false: BFS downward along
@@ -517,68 +604,8 @@ func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
 	if len(e.fixedList) == e.g.N() {
 		return // every AS already has a route; nothing left to fix
 	}
-	o := &e.out
 	e.bumpStageEpoch()
-	maxLevel := 0
-	push := func(u asgraph.AS, level int32) {
-		l := int(level)
-		for len(e.buckets) <= l {
-			e.buckets = append(e.buckets, nil)
-		}
-		e.buckets[l] = append(e.buckets[l], u)
-		if l > maxLevel {
-			maxLevel = l
-		}
-	}
-	// trigger offers w's freshly fixed route to w's still-unfixed
-	// out-neighbors; tryOffer queues a neighbor only when its minimal
-	// offered length changes, so duplicate bucket entries are rare.
-	trigger := func(w asgraph.AS) {
-		if st.SecureOnly && !o.Secure[w] {
-			return // an insecure route cannot seed a fully secure one
-		}
-		var outNbrs []asgraph.AS
-		if up {
-			if !e.exportsWide(w) {
-				return
-			}
-			outNbrs = e.g.Providers(w)
-		} else {
-			outNbrs = e.g.Customers(w)
-		}
-		for _, u := range outNbrs {
-			if !e.fixed(u) && e.admissible(st, u, w, dep) && e.tryOffer(u, w, st, dep) {
-				push(u, o.Len[w]+1)
-			}
-		}
-	}
-	// seedIn gathers the offers an unfixed u can already receive from
-	// its fixed in-neighbors and queues u at its minimal offered length.
-	seedIn := func(u asgraph.AS) {
-		if st.SecureOnly && !dep.FullSecure(u) {
-			return // u cannot validate, so it can never fix here
-		}
-		var inNbrs []asgraph.AS
-		if up {
-			inNbrs = e.g.Customers(u)
-		} else {
-			inNbrs = e.g.Providers(u)
-		}
-		for _, w := range inNbrs {
-			if !e.fixed(w) || (up && !e.exportsWide(w)) {
-				continue
-			}
-			if st.SecureOnly && !o.Secure[w] {
-				continue
-			}
-			if e.admissible(st, u, w, dep) {
-				e.tryOffer(u, w, st, dep)
-			}
-		}
-		if acc := &e.off[u]; acc.ep == e.stageEpoch {
-			push(u, acc.len)
-		}
-	}
+	e.treeMaxLevel = 0
 	// Seed the bucket queue. Direction-optimized like a bottom-up BFS:
 	// early stages have few fixed ASes, so scanning their out-edges is
 	// cheap; late stages have few *unfixed* ASes, so scanning only those
@@ -591,17 +618,17 @@ func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
 	case e.deltaDirty != nil:
 		for _, u := range e.deltaDirty {
 			if !e.fixed(u) {
-				seedIn(u)
+				e.treeSeedIn(u, st, dep, up)
 			}
 		}
 	case 2*len(e.fixedList) <= e.g.N():
 		for _, w := range e.fixedList {
-			trigger(w)
+			e.treeTrigger(w, st, dep, up)
 		}
 	default:
 		for v := 0; v < e.g.N(); v++ {
 			if u := asgraph.AS(v); !e.fixed(u) {
-				seedIn(u)
+				e.treeSeedIn(u, st, dep, up)
 			}
 		}
 	}
@@ -609,21 +636,34 @@ func (e *Engine) runTreeStage(st policy.Stage, dep *Deployment, up bool) {
 	if up {
 		class = policy.ClassCustomer
 	}
-	for level := 1; level <= maxLevel; level++ {
+	for level := 1; level <= e.treeMaxLevel; level++ {
+		// Triggers from this level push to level+1 only, so the bucket
+		// slice cannot grow under the iteration.
 		bucket := e.buckets[level]
-		for bi := 0; bi < len(bucket); bi++ {
-			u := bucket[bi]
-			if e.fixed(u) {
-				continue // stale entry: u was requeued at a lower level
+		for bi := 0; bi < len(bucket); bi += stageBatch {
+			hi := bi + stageBatch
+			if hi > len(bucket) {
+				hi = len(bucket)
 			}
-			e.fixFromOffer(u, class, st, dep)
-			// trigger only pushes to level+1, so the bucket slice we
-			// are iterating cannot grow under us.
-			trigger(u)
+			// Fix phase: resolve each batch member from its accumulator.
+			// fixFromOffer appends to fixedList, so the batch's freshly
+			// fixed members are exactly fixedList[fixStart:] — stale
+			// bucket entries (requeued at a lower level) skip both phases.
+			fixStart := len(e.fixedList)
+			for _, u := range bucket[bi:hi] {
+				if e.fixed(u) {
+					continue
+				}
+				e.fixFromOffer(u, class, st, dep)
+			}
+			// Trigger phase: walk the batch's adjacency lists together.
+			for _, w := range e.fixedList[fixStart:] {
+				e.treeTrigger(w, st, dep, up)
+			}
 		}
 		e.buckets[level] = e.buckets[level][:0]
 	}
-	// Reset any buckets beyond maxLevel that earlier stages grew.
+	// Reset any buckets beyond treeMaxLevel that earlier stages grew.
 	for l := range e.buckets {
 		e.buckets[l] = e.buckets[l][:0]
 	}
@@ -639,30 +679,13 @@ func (e *Engine) runPeerStage(st policy.Stage, dep *Deployment) {
 	}
 	e.bumpStageEpoch()
 	e.touched = e.touched[:0]
-	// seedIn gathers the peer offers an unfixed u can receive and adds
-	// u to the relaxation work list if it got any.
-	seedIn := func(u asgraph.AS) {
-		if st.SecureOnly && !dep.FullSecure(u) {
-			return
-		}
-		offered := false
-		for _, w := range e.g.Peers(u) {
-			if e.fixed(w) && e.exportsWide(w) && e.admissible(st, u, w, dep) {
-				e.tryOffer(u, w, st, dep)
-				offered = true
-			}
-		}
-		if offered {
-			e.touched = append(e.touched, u)
-		}
-	}
 	// Direction-optimized work-list seeding, as in runTreeStage; delta
 	// passes iterate the dirty work list instead of scanning every AS.
 	switch {
 	case e.deltaDirty != nil:
 		for _, u := range e.deltaDirty {
 			if !e.fixed(u) {
-				seedIn(u)
+				e.peerSeedIn(u, st, dep)
 			}
 		}
 	case 2*len(e.fixedList) <= e.g.N():
@@ -683,11 +706,29 @@ func (e *Engine) runPeerStage(st policy.Stage, dep *Deployment) {
 	default:
 		for v := 0; v < e.g.N(); v++ {
 			if u := asgraph.AS(v); !e.fixed(u) {
-				seedIn(u)
+				e.peerSeedIn(u, st, dep)
 			}
 		}
 	}
 	for _, u := range e.touched {
 		e.fixPeerFromOffer(u, st, dep)
+	}
+}
+
+// peerSeedIn gathers the peer offers an unfixed u can receive and adds
+// u to the relaxation work list if it got any.
+func (e *Engine) peerSeedIn(u asgraph.AS, st policy.Stage, dep *Deployment) {
+	if st.SecureOnly && !dep.FullSecure(u) {
+		return
+	}
+	offered := false
+	for _, w := range e.g.Peers(u) {
+		if e.fixed(w) && e.exportsWide(w) && e.admissible(st, u, w, dep) {
+			e.tryOffer(u, w, st, dep)
+			offered = true
+		}
+	}
+	if offered {
+		e.touched = append(e.touched, u)
 	}
 }

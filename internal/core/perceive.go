@@ -1,6 +1,8 @@
 package core
 
 import (
+	"unsafe"
+
 	"sbgp/internal/asgraph"
 	"sbgp/internal/policy"
 )
@@ -104,9 +106,11 @@ type Partitioner struct {
 	mask2 []uint8
 
 	// structural perceivable-reachability scratch for the security 1st
-	// partition (Appendix E.3)
-	dReach, mReach []bool
-	queue          []asgraph.AS
+	// partition (Appendix E.3). up marks ASes reachable via a pure
+	// customer chain during one reachable call; queue is the shared BFS
+	// queue, drained with a head index so its capacity survives runs.
+	dReach, mReach, up []bool
+	queue              []asgraph.AS
 }
 
 // NewPartitioner returns a partitioner under the given local-preference
@@ -116,14 +120,9 @@ func NewPartitioner(g *asgraph.Graph, lp policy.LocalPref) *Partitioner {
 	n := g.N()
 	p := &Partitioner{
 		g: g, lp: lp,
-		eng:    NewEngineLP(g, policy.Sec3rd, lp),
-		mask2:  make([]uint8, n),
-		dReach: make([]bool, n),
-		mReach: make([]bool, n),
+		eng: NewEngineLP(g, policy.Sec3rd, lp),
 	}
-	for i := range p.part.Cat {
-		p.part.Cat[i] = make([]Category, n)
-	}
+	p.attachScratch(n)
 	// Kahn's algorithm over customer→provider edges: an AS appears
 	// after all of its customers.
 	indeg := make([]int, n)
@@ -151,6 +150,25 @@ func NewPartitioner(g *asgraph.Graph, lp policy.LocalPref) *Partitioner {
 		panic("core: customer-provider cycle; run asgraph.Validate first")
 	}
 	return p
+}
+
+// attachScratch backs the partitioner's fixed-size per-AS scratch — the
+// three category arrays, the sec-2nd mask, and the three reachability
+// bitmaps — with one arena allocation, mirroring the engine's slab
+// discipline (slab.go). The BFS queue stays a growable slice: reachable
+// drains it by head index, so its capacity is retained across runs.
+func (p *Partitioner) attachScratch(n int) {
+	if n == 0 {
+		return
+	}
+	s := newSlab((len(p.part.Cat) + 4) * alignUp(n))
+	for i := range p.part.Cat {
+		p.part.Cat[i] = unsafe.Slice((*Category)(s.section(n)), n)
+	}
+	p.mask2 = unsafe.Slice((*uint8)(s.section(n)), n)
+	p.dReach = unsafe.Slice((*bool)(s.section(n)), n)
+	p.mReach = unsafe.Slice((*bool)(s.section(n)), n)
+	p.up = unsafe.Slice((*bool)(s.section(n)), n)
 }
 
 // Run computes the partition for attacker m and destination d. The
@@ -252,49 +270,49 @@ func (p *Partitioner) computeSec2(o *Outcome) {
 		p.mask2[o.Attacker] = maskM
 	}
 
-	// pool merges the endpoint possibilities of v's same-class
-	// candidates. Export rule: customer- and peer-class routes at v
-	// require the candidate w to hold a customer route (or be an
-	// origin); provider-class routes accept any routed w. Under LPk the
-	// class is the rank bucket, so the candidate's (S = ∅) length must
-	// land in v's bucket; under standard LP the rank check is a no-op.
-	pool := func(v asgraph.AS, nbrs []asgraph.AS, wide bool) uint8 {
-		rank := p.lp.RankClass(o.Class[v], int(o.Len[v]))
-		var mask uint8
-		for _, w := range nbrs {
-			switch o.Class[w] {
-			case policy.ClassNone:
-				continue
-			case policy.ClassCustomer, policy.ClassOrigin:
-			default:
-				if !wide {
-					continue
-				}
-			}
-			if p.lp.RankClass(o.Class[v], int(o.Len[w])+1) != rank {
-				continue
-			}
-			mask |= p.mask2[w]
-		}
-		return mask
-	}
-
 	for _, v := range p.topo { // customers before providers
 		if o.Class[v] == policy.ClassCustomer {
-			p.mask2[v] = pool(v, g.Customers(v), false)
+			p.mask2[v] = p.pool(o, v, g.Customers(v), false)
 		}
 	}
 	for v := asgraph.AS(0); int(v) < g.N(); v++ {
 		if o.Class[v] == policy.ClassPeer {
-			p.mask2[v] = pool(v, g.Peers(v), false)
+			p.mask2[v] = p.pool(o, v, g.Peers(v), false)
 		}
 	}
 	for i := len(p.topo) - 1; i >= 0; i-- { // providers before customers
 		v := p.topo[i]
 		if o.Class[v] == policy.ClassProvider {
-			p.mask2[v] = pool(v, g.Providers(v), true)
+			p.mask2[v] = p.pool(o, v, g.Providers(v), true)
 		}
 	}
+}
+
+// pool merges the endpoint possibilities of v's same-class candidates.
+// Export rule: customer- and peer-class routes at v require the
+// candidate w to hold a customer route (or be an origin); provider-class
+// routes accept any routed w. Under LPk the class is the rank bucket, so
+// the candidate's (S = ∅) length must land in v's bucket; under standard
+// LP the rank check is a no-op.
+func (p *Partitioner) pool(o *Outcome, v asgraph.AS, nbrs []asgraph.AS, wide bool) uint8 {
+	rank := p.lp.RankClass(o.Class[v], int(o.Len[v]))
+	var mask uint8
+	for _, w := range nbrs {
+		switch o.Class[w] {
+		case policy.ClassNone:
+			continue
+		case policy.ClassCustomer, policy.ClassOrigin:
+		default:
+			if !wide {
+				continue
+			}
+		}
+		if p.lp.RankClass(o.Class[v], int(o.Len[w])+1) != rank {
+			continue
+		}
+		mask |= p.mask2[w]
+	}
+	return mask
 }
 
 // reachable marks every AS with at least one valley-free (perceivable)
@@ -305,18 +323,18 @@ func (p *Partitioner) computeSec2(o *Outcome) {
 func (p *Partitioner) reachable(r, x asgraph.AS, reach []bool) {
 	g := p.g
 	n := g.N()
-	for i := 0; i < n; i++ {
-		reach[i] = false
-	}
-	up := make([]bool, n) // reachable via a pure customer chain
+	clear(reach)
+	up := p.up // reachable via a pure customer chain
+	clear(up)
 
 	reach[r] = true
 	up[r] = true
+	// Both BFS passes drain the queue by head index: re-slicing away the
+	// head would shed capacity and force a reallocation every few runs.
 	q := p.queue[:0]
 	q = append(q, r)
-	for len(q) > 0 {
-		v := q[0]
-		q = q[1:]
+	for head := 0; head < len(q); head++ {
+		v := q[head]
 		for _, u := range g.Providers(v) {
 			if u != x && u != r && !up[u] {
 				up[u] = true
@@ -343,9 +361,8 @@ func (p *Partitioner) reachable(r, x asgraph.AS, reach []bool) {
 			q = append(q, v)
 		}
 	}
-	for len(q) > 0 {
-		v := q[0]
-		q = q[1:]
+	for head := 0; head < len(q); head++ {
+		v := q[head]
 		for _, u := range g.Customers(v) {
 			if u != x && u != r && !reach[u] {
 				reach[u] = true

@@ -490,9 +490,17 @@ func (c *Coordinator) Submit(worker, fingerprint string, partials []*sbgp.ShardP
 	}
 	if aj.finished {
 		// Late batch after completion (or failure): everything is a
-		// duplicate from the protocol's point of view.
+		// duplicate from the protocol's point of view — and the stats
+		// counter must agree with the answer the worker gets.
+		c.stats.Duplicates += len(partials)
 		return 0, len(partials), nil
 	}
+	// A batch can arrive after its lease expired (and after the range
+	// was re-leased to someone else). Expire dead leases before the
+	// retirement loop below, so a late submit can never retire an
+	// expired lease as if it were live — the partials still ingest
+	// idempotently, but LeasesExpired and ActiveLeases stay honest.
+	c.pruneLocked(aj)
 	for _, p := range partials {
 		if verr := aj.job.Layout.ValidatePartial(p); verr != nil {
 			c.stats.Rejected++

@@ -657,3 +657,196 @@ func TestDistributedJobSpecFacade(t *testing.T) {
 		t.Errorf("EvaluateJobDistributed without coordinator = %v, want a WithCoordinator hint", err)
 	}
 }
+
+// TestLateSubmitAfterLeaseExpiry is the accounting regression test for
+// the late-submit path: a batch arriving after its lease expired — with
+// or without the range having been re-leased — must ingest
+// idempotently, expire (not silently retire) the dead lease, never
+// resurrect it, and leave ShardsAccepted/Duplicates exactly consistent
+// with the answers the workers received and with the checkpoint bytes.
+func TestLateSubmitAfterLeaseExpiry(t *testing.T) {
+	g := smallGraph()
+	mkGrid := func() *sbgp.Grid { return chainedGrid(g) }
+	const size = 5
+	path := filepath.Join(t.TempDir(), "late.ckpt")
+
+	coord := NewCoordinator(Options{LeaseShards: 7, LeaseTTL: time.Minute, Standby: 5 * time.Millisecond})
+	var clockMu sync.Mutex
+	clock := time.Unix(1_700_000_000, 0)
+	coord.now = func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		clock = clock.Add(d)
+		clockMu.Unlock()
+	}
+
+	job, layout := gridJob(t, mkGrid, g, size, path, false, nil)
+	// Gate the merge so the job stays installed (finished, not yet
+	// uninstalled) long enough to exercise the after-completion path.
+	mergeGate := make(chan struct{})
+	innerMerge := job.Merge
+	job.Merge = func(ps []*sbgp.ShardPartial) (*sbgp.Result, error) {
+		<-mergeGate
+		return innerMerge(ps)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := startRun(ctx, coord, job)
+	waitActive(t, coord)
+
+	evaluate := func(r sbgp.ShardRange) []*sbgp.ShardPartial {
+		t.Helper()
+		ev := &GridEvaluator{Grid: mkGrid(), Graph: g, ShardSize: size}
+		var parts []*sbgp.ShardPartial
+		if err := ev.EvaluateShards(r, func(p *sbgp.ShardPartial) error { parts = append(parts, p); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		return parts
+	}
+
+	// Phase 1 — expired lease, range NOT re-leased: worker a evaluates
+	// its range, its lease dies unnoticed (no intervening protocol
+	// call), then the batch lands. The shards are new, so they must
+	// ingest; the dead lease must be counted expired, not retired as if
+	// it had been live.
+	grantA, err := coord.Lease("a", layout.Fingerprint)
+	if err != nil || grantA.LeaseID == "" {
+		t.Fatalf("lease a = %+v, %v", grantA, err)
+	}
+	partsA := evaluate(grantA.Range)
+	advance(2 * time.Minute)
+	acc, dup, err := coord.Submit("a", layout.Fingerprint, partsA)
+	if err != nil || acc != len(partsA) || dup != 0 {
+		t.Fatalf("late submit on expired lease = (%d, %d, %v), want (%d, 0, nil)", acc, dup, err, len(partsA))
+	}
+	st := coord.Stats()
+	if st.LeasesExpired != 1 {
+		t.Errorf("LeasesExpired = %d after late submit, want 1 (dead lease retired silently)", st.LeasesExpired)
+	}
+	if st.ActiveLeases != 0 {
+		t.Errorf("ActiveLeases = %d after late submit, want 0", st.ActiveLeases)
+	}
+	if err := coord.Heartbeat(grantA.LeaseID, layout.Fingerprint); !errors.Is(err, ErrUnknownLease) {
+		t.Errorf("heartbeat on dead lease = %v, want ErrUnknownLease", err)
+	}
+
+	// Phase 2 — expired lease, range re-leased and filled by someone
+	// else: worker b's lease expires, c re-leases the identical range
+	// and submits first, then b's stale batch arrives. Everything in it
+	// is a duplicate; the checkpoint must not change by a byte.
+	grantB, err := coord.Lease("b", layout.Fingerprint)
+	if err != nil || grantB.LeaseID == "" {
+		t.Fatalf("lease b = %+v, %v", grantB, err)
+	}
+	partsB := evaluate(grantB.Range)
+	advance(2 * time.Minute)
+	grantC, err := coord.Lease("c", layout.Fingerprint)
+	if err != nil || grantC.LeaseID == "" {
+		t.Fatalf("lease c = %+v, %v", grantC, err)
+	}
+	if grantC.Range != grantB.Range {
+		t.Fatalf("re-lease = %+v, want b's expired range %+v", grantC.Range, grantB.Range)
+	}
+	if acc, dup, err := coord.Submit("c", layout.Fingerprint, evaluate(grantC.Range)); err != nil || acc != len(partsB) || dup != 0 {
+		t.Fatalf("submit c = (%d, %d, %v), want (%d, 0, nil)", acc, dup, err, len(partsB))
+	}
+	ckpt, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, dup, err = coord.Submit("b", layout.Fingerprint, partsB)
+	if err != nil || acc != 0 || dup != len(partsB) {
+		t.Fatalf("stale submit b = (%d, %d, %v), want (0, %d, nil)", acc, dup, err, len(partsB))
+	}
+	if after, err := os.ReadFile(path); err != nil || !bytes.Equal(ckpt, after) {
+		t.Errorf("stale duplicate batch changed the checkpoint bytes (err %v)", err)
+	}
+	st = coord.Stats()
+	if want := len(partsA) + len(partsB); st.ShardsAccepted != want {
+		t.Errorf("ShardsAccepted = %d, want %d (duplicates double-counted)", st.ShardsAccepted, want)
+	}
+	if st.Duplicates != len(partsB) {
+		t.Errorf("Duplicates = %d, want %d", st.Duplicates, len(partsB))
+	}
+	if st.LeasesExpired != 2 {
+		t.Errorf("LeasesExpired = %d, want 2", st.LeasesExpired)
+	}
+
+	// Finish the job from a single live worker.
+	for {
+		grant, err := coord.Lease("w", layout.Fingerprint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if grant.Complete {
+			break
+		}
+		if grant.LeaseID == "" {
+			t.Fatalf("unexpected standby with no live leases: %+v", grant)
+		}
+		if acc, _, err := coord.Submit("w", layout.Fingerprint, evaluate(grant.Range)); err != nil || acc != grant.Range.Len() {
+			t.Fatalf("submit w = (%d, %v), want %d accepted", acc, err, grant.Range.Len())
+		}
+	}
+
+	// Phase 3 — batch after completion: the job is finished (the merge
+	// is gated open below), so the whole batch is duplicates, and the
+	// stats counter must agree with the answer b gets.
+	before := coord.Stats().Duplicates
+	if acc, dup, err := coord.Submit("b", layout.Fingerprint, partsB); err != nil || acc != 0 || dup != len(partsB) {
+		t.Fatalf("post-completion submit = (%d, %d, %v), want (0, %d, nil)", acc, dup, err, len(partsB))
+	}
+	if got := coord.Stats().Duplicates; got != before+len(partsB) {
+		t.Errorf("post-completion Duplicates = %d, want %d", got, before+len(partsB))
+	}
+
+	close(mergeGate)
+	r := <-done
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	var flat bytes.Buffer
+	if err := mkGrid().MustEvaluate(g).WriteJSON(&flat); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultBytes(t, r.res), flat.Bytes()) {
+		t.Error("result after late submits diverges from flat evaluation")
+	}
+}
+
+// TestBodyCapReturns413 pins the body-cap contract of the coordinator
+// API: an oversized POST answers 413 with the cap in the message — on
+// the submit endpoint and the tight control endpoints alike — instead
+// of a generic 400 decode error.
+func TestBodyCapReturns413(t *testing.T) {
+	coord := NewCoordinator(Options{})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	oversized := `{"worker":"w","fingerprint":"` + strings.Repeat("f", (1<<20)+64) + `"}`
+	for _, path := range []string{"/dist/v1/submit", "/dist/v1/lease"} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(oversized))
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge || !strings.Contains(string(data), "1048576-byte cap") {
+			t.Errorf("%s oversized = %d %s, want 413 naming the cap", path, resp.StatusCode, data)
+		}
+	}
+
+	// A merely-invalid body keeps its 400.
+	resp, err := http.Post(srv.URL+"/dist/v1/submit", "application/json", strings.NewReader(`{"bogus": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid body = %d, want 400", resp.StatusCode)
+	}
+}

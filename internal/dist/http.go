@@ -77,6 +77,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 // errorStatus maps protocol sentinels to HTTP statuses.
 func errorStatus(err error) int {
+	var mbe *http.MaxBytesError
 	switch {
 	case errors.Is(err, ErrNoJob):
 		return http.StatusNotFound
@@ -84,6 +85,8 @@ func errorStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, ErrUnknownLease):
 		return http.StatusGone
+	case errors.As(err, &mbe):
+		return http.StatusRequestEntityTooLarge
 	default:
 		return http.StatusBadRequest
 	}
@@ -93,11 +96,18 @@ func writeError(w http.ResponseWriter, err error) {
 	writeJSON(w, errorStatus(err), map[string]string{"error": err.Error()})
 }
 
-// decodeStrict decodes a strict-JSON request body into v.
+// decodeStrict decodes a strict-JSON request body into v. An oversized
+// body maps to 413 (via errorStatus) with the cap in the message, so a
+// worker shipping too-big batches learns the actual limit instead of a
+// generic decode error.
 func decodeStrict(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("dist: request body exceeds the %d-byte cap: %w", mbe.Limit, err)
+		}
 		return fmt.Errorf("dist: bad request body: %w", err)
 	}
 	return nil
@@ -155,10 +165,10 @@ func (c *Coordinator) handleOffer(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	// Partials are exact integer aggregates over whole shards; a big
-	// reconnect batch is legitimately large, so the submit limit is
-	// generous where the control messages are tight.
-	if err := decodeStrict(w, r, 64<<20, &req); err != nil {
+	// Partials are compact integer aggregates, and workers chunk their
+	// submissions (submitBatch shards per request), so submit fits the
+	// same 1 MiB cap as the control messages.
+	if err := decodeStrict(w, r, 1<<20, &req); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -374,17 +374,33 @@ func (w *Worker) ship(ctx context.Context, fingerprint string, held map[int]*sbg
 			partials = append(partials, p)
 		}
 	}
-	if _, _, err := w.submit(ctx, fingerprint, partials); err != nil {
-		return err
-	}
-	w.mu.Lock()
-	w.stats.ShardsShipped += len(partials)
-	w.mu.Unlock()
-	for _, p := range partials {
-		delete(held, p.Shard)
+	// Chunked submission bounds every request well under the
+	// coordinator's 1 MiB body cap, however many shards a reconnect
+	// accumulated. A mid-loop failure preserves exactly the unshipped
+	// tail in held for the next reconciliation pass.
+	for len(partials) > 0 {
+		batch := partials
+		if len(batch) > submitBatch {
+			batch = batch[:submitBatch]
+		}
+		if _, _, err := w.submit(ctx, fingerprint, batch); err != nil {
+			return err
+		}
+		w.mu.Lock()
+		w.stats.ShardsShipped += len(batch)
+		w.mu.Unlock()
+		for _, p := range batch {
+			delete(held, p.Shard)
+		}
+		partials = partials[len(batch):]
 	}
 	return nil
 }
+
+// submitBatch is the maximum shards per submit request. A shard partial
+// is a few KB of JSON at worst, so 256 of them stay comfortably inside
+// the coordinator's 1 MiB request-body cap.
+const submitBatch = 256
 
 func (w *Worker) heartbeatLoop(ctx context.Context, fingerprint, leaseID string, ttl time.Duration) {
 	interval := ttl / 3

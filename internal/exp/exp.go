@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/core"
@@ -67,6 +68,19 @@ type Workload struct {
 	Incremental sweep.IncrementalMode
 
 	Workers int
+
+	// baselineEvals caches one prepared sweep evaluation per
+	// (model, LP) pair for Baseline, so repeated calls — E1 is the
+	// benchmark suite's steady-state probe — reuse warm engines and
+	// scratch instead of rebuilding them per call.
+	evalMu        sync.Mutex
+	baselineEvals map[baselineEvalKey]*sweep.Evaluation
+}
+
+// baselineEvalKey identifies one cached Baseline evaluation.
+type baselineEvalKey struct {
+	model policy.Model
+	lp    policy.LocalPref
 }
 
 // Config sizes a workload. The zero value gives the default experiment
@@ -161,18 +175,42 @@ func newWorkloadFromGraph(g *asgraph.Graph, meta *topogen.Meta, cfg Config) *Wor
 
 // Baseline computes E1: the lower bound on H_{V,V}(∅) — origin
 // authentication alone (Section 4.2; the paper reports ≥60%, 62% on the
-// IXP-augmented graph).
+// IXP-augmented graph). The evaluation behind each (model, lp) pair is
+// prepared once and reused, so repeated calls run on warm engines and
+// allocate nothing in steady state.
 func (w *Workload) Baseline(model policy.Model, lp policy.LocalPref) runner.Metric {
-	grid := &sweep.Grid{
-		Models:       []policy.Model{model},
-		LP:           lp,
-		Attackers:    w.M,
-		Destinations: w.D,
-		Attack:       w.Attack,
-		Incremental:  w.Incremental,
-		Workers:      w.Workers,
+	w.evalMu.Lock()
+	key := baselineEvalKey{model: model, lp: lp}
+	ev := w.baselineEvals[key]
+	if ev == nil {
+		grid := &sweep.Grid{
+			Models:       []policy.Model{model},
+			LP:           lp,
+			Attackers:    w.M,
+			Destinations: w.D,
+			Attack:       w.Attack,
+			Incremental:  w.Incremental,
+			Workers:      w.Workers,
+		}
+		var err error
+		if ev, err = grid.NewEvaluation(w.G); err != nil {
+			w.evalMu.Unlock()
+			panic(err)
+		}
+		if w.baselineEvals == nil {
+			w.baselineEvals = make(map[baselineEvalKey]*sweep.Evaluation)
+		}
+		w.baselineEvals[key] = ev
 	}
-	return grid.MustEvaluate(w.G).Cells[0].Metric
+	// Each cached Evaluation reuses its own accumulator and engines, so
+	// the lock is held across Run, serializing concurrent Baseline calls
+	// on the same workload.
+	defer w.evalMu.Unlock()
+	res, err := ev.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return res.Cells[0].Metric
 }
 
 // baselineGrid declares the headline (model × deployment) grid over the

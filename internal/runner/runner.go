@@ -209,6 +209,11 @@ func ForEach[T any](ctx context.Context, n, workers int, newState func() T, fn f
 		w = n
 	}
 	if w <= 1 {
+		// Fully inline serial path: no goroutines and no allocations,
+		// so a warm caller's steady state stays allocation-free. The
+		// parallel body lives in its own function because its cursor
+		// and WaitGroup are captured by the worker closures and would
+		// otherwise be heap-allocated here even when never used.
 		if n > 0 {
 			state := newState()
 			for di := 0; di < n; di++ {
@@ -220,6 +225,11 @@ func ForEach[T any](ctx context.Context, n, workers int, newState func() T, fn f
 		}
 		return ctx.Err()
 	}
+	return forEachParallel(ctx, n, w, newState, fn)
+}
+
+// forEachParallel is ForEach's worker-pool body for w > 1.
+func forEachParallel[T any](ctx context.Context, n, w int, newState func() T, fn func(state T, di int)) error {
 	chunk := n / (w * chunkTarget)
 	if chunk < 1 {
 		chunk = 1

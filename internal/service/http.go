@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -62,10 +63,19 @@ func writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	const bodyCap = 1 << 20
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, bodyCap))
 	dec.DisallowUnknownFields()
 	var req SubmitRequest
 	if err := dec.Decode(&req); err != nil {
+		// An oversized spec gets the status and the actual cap, not a
+		// generic decode error.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds the %d-byte cap", mbe.Limit))
+			return
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

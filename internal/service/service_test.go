@@ -812,3 +812,31 @@ func TestDaemonDistributedByteIdentity(t *testing.T) {
 		t.Fatalf("checkpoint not removed after distributed completion: %v", err)
 	}
 }
+
+// TestSubmitBodyCap413 pins the job API's body-cap contract: an
+// oversized POST /jobs answers 413 with the cap in the message, not a
+// generic 400 decode error. Separate from TestHTTPEndpoints because the
+// aborted upload churns the client's connection pool.
+func TestSubmitBodyCap413(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	oversized := `{"spec": {"version": 1, "note": "` + strings.Repeat("x", (1<<20)+64) + `"}}`
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(oversized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || !strings.Contains(string(data), "1048576-byte cap") {
+		t.Fatalf("oversized submit = %d %s, want 413 naming the cap", resp.StatusCode, data)
+	}
+	if got := s.List(); len(got) != 0 {
+		t.Fatalf("oversized submit created %d jobs", len(got))
+	}
+}

@@ -193,7 +193,7 @@ func (gr *Grid) EvaluateShardRange(ctx context.Context, g *asgraph.Graph, l *Lay
 	for s := r.Start; s < r.End; s++ {
 		pending = append(pending, s)
 	}
-	return gr.evaluatePending(ctx, g, ax, sched, l.ShardSize, pending, opts.Stats, func(p *ShardPartial) error {
+	return gr.evaluatePending(ctx, g, ax, sched, l.ShardSize, pending, opts.Sink == nil, opts.Stats, func(p *ShardPartial) error {
 		if opts.Sink != nil {
 			return opts.Sink(p)
 		}
@@ -249,16 +249,13 @@ func (gr *Grid) MergePartials(g *asgraph.Graph, l *Layout, partials []*ShardPart
 // cancellation (or after a failed commit) is discarded — once ctx.Err()
 // is set, commit is never called again, so a sink that cancels the
 // context can rely on seeing no further partials.
-func (gr *Grid) evaluatePending(ctx context.Context, g *asgraph.Graph, ax *axes, sched *schedule, size int, pending []int, stats *ShardStats, commit func(p *ShardPartial) error) error {
+//
+// With reuse set, the partial handed to commit is the worker's own
+// scratch, valid only during the call: pass it only when commit (and
+// everything it feeds) copies what it keeps before returning. That is
+// what makes the steady-state shard loop allocation-free.
+func (gr *Grid) evaluatePending(ctx context.Context, g *asgraph.Graph, ax *axes, sched *schedule, size int, pending []int, reuse bool, stats *ShardStats, commit func(p *ShardPartial) error) error {
 	units := pendingUnits(sched, pending, size)
-
-	// Chain tail handoffs across unit-internal shard boundaries
-	// (chain-major schedules only; the identity schedule never splits a
-	// chain, and its units are single shards anyway).
-	var h *handoff
-	if !sched.identity() {
-		h = newHandoff()
-	}
 
 	// abort lets a commit failure stop the remaining shards without
 	// waiting for the whole grid.
@@ -266,40 +263,54 @@ func (gr *Grid) evaluatePending(ctx context.Context, g *asgraph.Graph, ax *axes,
 	defer abort()
 	var mu sync.Mutex
 	var commitErr error
+	var handoffHits, handoffMisses int
 	err := runner.ForEach(ctx, len(units), gr.Workers, gr.newWorkerState,
 		func(ws *workerState, ui int) {
 			u := units[ui]
+			// Chain tail carry across the unit's interior shard
+			// boundaries (chain-major schedules only; the identity
+			// schedule never splits a chain, and its units are single
+			// shards anyway). The carry is worker-owned and reset per
+			// unit, so the tail fixed point never crosses a goroutine.
+			var c *carry
+			if !sched.identity() {
+				c = &ws.chainCarry
+				c.reset()
+			}
 			for s := u.Start; s < u.End; s++ {
 				start := s * size
 				end := start + size
 				if end > ax.cells {
 					end = ax.cells
 				}
-				p, ok := gr.evaluateShardPartial(ctx, g, ws, sched, h, s, start, end)
+				p, ok := gr.evaluateShardPartial(ctx, g, ws, sched, c, s, start, end, reuse)
 				if !ok {
-					return
+					break
 				}
 				mu.Lock()
 				if commitErr != nil || ctx.Err() != nil {
 					mu.Unlock()
-					return
+					break
 				}
 				if cerr := commit(p); cerr != nil {
 					commitErr = cerr
 					mu.Unlock()
 					abort()
-					return
+					break
 				}
+				mu.Unlock()
+			}
+			if c != nil && (c.hits != 0 || c.misses != 0) {
+				mu.Lock()
+				handoffHits += c.hits
+				handoffMisses += c.misses
 				mu.Unlock()
 			}
 		})
 	if stats != nil {
 		stats.Units += len(units)
-		if h != nil {
-			hits, misses := h.counts()
-			stats.HandoffHits += hits
-			stats.HandoffMisses += misses
-		}
+		stats.HandoffHits += handoffHits
+		stats.HandoffMisses += handoffMisses
 	}
 	if commitErr != nil {
 		return commitErr

@@ -52,7 +52,10 @@ func (p *EnginePool) Release() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.free = append(p.free, p.loaned...)
-	p.loaned = nil
+	// Keep the loan ledger's capacity: a resident service calls
+	// get/Release once per job, and re-growing the slice every cycle
+	// would be the pool's only steady-state allocation.
+	p.loaned = p.loaned[:0]
 }
 
 // Size reports how many worker states the pool currently retains

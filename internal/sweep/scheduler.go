@@ -22,17 +22,17 @@ package sweep
 //     integer (task, lo, hi) triple per valid cell. Partials stay
 //     positional, so results remain byte-identical to the unscheduled
 //     evaluation at every worker count and shard size.
-//   - Where a shard boundary does split a chain, the finishing worker
-//     offers the chain's tail fixed point to a handoff table and the
-//     worker that picks up the continuation resumes with RunDelta
-//     instead of re-running the head — opportunistically: if the
-//     continuation is evaluated first, it simply runs its own head from
-//     scratch, with identical results either way.
+//   - Where a shard boundary does split a chain, the worker carries the
+//     chain's tail fixed point across the boundary and resumes with
+//     RunDelta instead of re-running the head. The unit dispatcher
+//     (plan.go) cuts dispatch units only at handoff-free boundaries, so
+//     every split boundary is interior to one unit — the producer and
+//     consumer of a carried fixed point are always the same goroutine,
+//     and the carry needs no lock, no map, and no defensive clone.
 
 import (
 	"context"
 	"sort"
-	"sync"
 
 	"sbgp/internal/asgraph"
 	"sbgp/internal/core"
@@ -131,82 +131,60 @@ func (s *schedule) rangeAt(ri int) (start, end int) {
 	return start, start + s.ax.na*clen
 }
 
-// handoff carries chain tail fixed points across shard boundaries. When
-// a shard's last group run is cut off mid-chain, the finishing worker
-// offers a clone of its tail outcome keyed by the first scheduled
-// position of the continuation; the worker evaluating that position
-// takes it and resumes the chain with RunDelta. The exchange is purely
-// opportunistic — if the continuation ran first (shards complete in any
-// order), take records that fact so the offer is dropped instead of
-// retained forever, and the continuation ran its head from scratch with
-// identical results.
-type handoff struct {
-	mu   sync.Mutex
-	m    map[int]*core.Outcome
-	done map[int]bool
-	// hits counts takes that found an offered fixed point; misses counts
+// carry hands a chain's tail fixed point from one shard to the next
+// within a dispatch unit. Units are cut at handoff-free boundaries
+// (plan.go), so the shard that is cut off mid-chain and the shard that
+// continues it are always evaluated back to back by the same worker:
+// the carried Outcome is the engine-owned fixed point itself — no
+// clone — and it stays valid because nothing runs on that engine
+// between the offer at one shard's end and the take at the next
+// shard's start. The continuation then resumes with RunDelta on the
+// very outcome the engine already holds, which is its in-place fast
+// path. A carry is worker-owned scratch; it must never be shared
+// across goroutines.
+type carry struct {
+	pos int           // scheduled position the carried outcome continues at
+	out *core.Outcome // engine-owned tail fixed point, nil when empty
+	// hits counts takes that found a carried fixed point; misses counts
 	// takes that had to re-run the chain head from scratch. With
 	// chain-ordered unit dispatch every boundary cut mid-chain is
 	// evaluated offer-before-take, so misses stays zero on fresh runs —
-	// the counters make that claim testable.
+	// the counters make that claim testable. (Resumed runs can miss at
+	// unit starts whose predecessor shard completed in an earlier run.)
 	hits, misses int
 }
 
-func newHandoff() *handoff {
-	return &handoff{m: map[int]*core.Outcome{}, done: map[int]bool{}}
-}
+// reset clears the carry for a new dispatch unit.
+func (c *carry) reset() { *c = carry{} }
 
-func (h *handoff) offer(pos int, o *core.Outcome) {
-	h.mu.Lock()
-	if h.done[pos] {
-		delete(h.done, pos)
-		h.mu.Unlock()
-		return
-	}
-	h.mu.Unlock()
-	// Clone outside the lock — five n-length array copies would
-	// otherwise serialize every worker crossing a shard boundary.
-	c := o.Clone()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.done[pos] {
-		// The consumer ran between the unlock and now; it already did
-		// its own head run, so the clone is dropped, not leaked.
-		delete(h.done, pos)
-		return
-	}
-	h.m[pos] = c
-}
-
-func (h *handoff) take(pos int) *core.Outcome {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if o, ok := h.m[pos]; ok {
-		delete(h.m, pos)
-		h.hits++
+// take returns the fixed point carried to scheduled position pos, or
+// nil — counting the hit or miss — and empties the carry.
+func (c *carry) take(pos int) *core.Outcome {
+	if c.out != nil && c.pos == pos {
+		o := c.out
+		c.out = nil
+		c.hits++
 		return o
 	}
-	h.done[pos] = true
-	h.misses++
+	c.out = nil
+	c.misses++
 	return nil
 }
 
-// counts returns the hit/miss tallies accumulated so far.
-func (h *handoff) counts() (hits, misses int) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.hits, h.misses
+// offer stores the tail fixed point a continuation at scheduled
+// position pos will resume from.
+func (c *carry) offer(pos int, o *core.Outcome) {
+	c.pos, c.out = pos, o
 }
 
 // evaluateRange evaluates the scheduled positions [start, end), calling
 // emit once per valid (attacker ≠ destination) cell with the cell's
 // task index and exact integer happy bounds. Cells are visited in
 // scheduled order; on a chain-major schedule each group run reuses the
-// previous step's fixed point via RunDelta (and the handoff table, when
-// given, bridges runs cut by the range boundary). It reports false if
-// ctx was cancelled, in which case the partial emission must be
-// discarded.
-func (gr *Grid) evaluateRange(ctx context.Context, g *asgraph.Graph, ws *workerState, s *schedule, h *handoff, start, end int, emit func(ti, lo, hi int)) bool {
+// previous step's fixed point via RunDelta (and the carry, when given,
+// bridges runs cut by the range boundary). It reports false if ctx was
+// cancelled, in which case the partial emission must be discarded.
+func (gr *Grid) evaluateRange(ctx context.Context, g *asgraph.Graph, ws *workerState, s *schedule, c *carry, start, end int, emit func(ti, lo, hi int)) bool {
 	ax := s.ax
 	if s.plan == nil {
 		// Identity: one RunAttack per cell, grouped by task.
@@ -266,8 +244,8 @@ func (gr *Grid) evaluateRange(ctx context.Context, g *asgraph.Graph, ws *workerS
 		}
 		e := ws.engine(g, ax.models[mi], gr.LP)
 		var prev *core.Outcome
-		if pos0 > 0 && h != nil {
-			prev = h.take(p)
+		if pos0 > 0 && c != nil {
+			prev = c.take(p)
 		}
 		posEnd := pos0 + (p1 - p)
 		for pos := pos0; pos < posEnd; pos++ {
@@ -287,8 +265,8 @@ func (gr *Grid) evaluateRange(ctx context.Context, g *asgraph.Graph, ws *workerS
 			lo, hi := e.HappyBounds()
 			emit((step.si*ax.nm+mi)*ax.nd+di, lo, hi)
 		}
-		if h != nil && p1 == end && p1 < gEnd {
-			h.offer(p1, prev)
+		if c != nil && p1 == end && p1 < gEnd {
+			c.offer(p1, prev)
 		}
 		p = p1
 	}

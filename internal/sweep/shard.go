@@ -5,7 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"slices"
 
 	"sbgp/internal/asgraph"
 )
@@ -172,38 +172,85 @@ func (gr *Grid) fingerprint(g *asgraph.Graph, ax *axes, sched *schedule) string 
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
+// shardAcc is a worker's reusable per-shard task accumulator: dense
+// arrays indexed by task, an epoch stamp per slot so starting a new
+// shard costs O(1) instead of an O(tasks) clear, and the list of tasks
+// the current shard touched. It replaces the per-shard map the partial
+// builder used to allocate — a shard touches a handful of tasks out of
+// a space sized once per grid, which is exactly the shape an
+// epoch-stamped arena is for.
+type shardAcc struct {
+	lo, hi, pairs []int
+	stamp         []uint32
+	cur           uint32
+	touched       []int
+}
+
+// begin readies the accumulator for a shard over a task space of the
+// given size, growing the arrays only when a larger grid arrives (a
+// pooled worker state outlives any one grid).
+func (a *shardAcc) begin(tasks int) {
+	if len(a.stamp) < tasks {
+		a.lo = make([]int, tasks)
+		a.hi = make([]int, tasks)
+		a.pairs = make([]int, tasks)
+		a.stamp = make([]uint32, tasks)
+		a.cur = 0
+	}
+	a.cur++
+	if a.cur == 0 { // stamp wrap: one honest clear every 2^32 shards
+		clear(a.stamp)
+		a.cur = 1
+	}
+	a.touched = a.touched[:0]
+}
+
+// add folds one cell's exact bounds into its task slot.
+func (a *shardAcc) add(ti, lo, hi int) {
+	if a.stamp[ti] != a.cur {
+		a.stamp[ti] = a.cur
+		a.lo[ti], a.hi[ti], a.pairs[ti] = 0, 0, 0
+		a.touched = append(a.touched, ti)
+	}
+	a.lo[ti] += lo
+	a.hi[ti] += hi
+	a.pairs[ti]++
+}
+
 // evaluateShardPartial computes the exact partial aggregate of the
 // scheduled positions [start, end) through the unified scheduler walk
 // (scheduler.go), listing the touched tasks in ascending order so the
-// record bytes are independent of the walk order. It reports ok = false
-// if ctx was cancelled, in which case the (incomplete) partial must be
-// discarded.
-func (gr *Grid) evaluateShardPartial(ctx context.Context, g *asgraph.Graph, ws *workerState, sched *schedule, h *handoff, shard, start, end int) (p *ShardPartial, ok bool) {
-	accs := make(map[int]*destAcc)
-	if !gr.evaluateRange(ctx, g, ws, sched, h, start, end, func(ti, lo, hi int) {
-		a := accs[ti]
-		if a == nil {
-			a = &destAcc{}
-			accs[ti] = a
-		}
-		a.lo += lo
-		a.hi += hi
-		a.pairs++
-	}) {
+// record bytes are independent of the walk order. With reuse set the
+// returned partial is the worker-owned scratch, valid only until the
+// worker's next shard — callers that retain partials past the commit
+// must pass reuse = false for a freshly allocated one. It reports
+// ok = false if ctx was cancelled, in which case the (incomplete)
+// partial must be discarded.
+func (gr *Grid) evaluateShardPartial(ctx context.Context, g *asgraph.Graph, ws *workerState, sched *schedule, c *carry, shard, start, end int, reuse bool) (p *ShardPartial, ok bool) {
+	a := &ws.acc
+	a.begin(sched.ax.tasks)
+	if !gr.evaluateRange(ctx, g, ws, sched, c, start, end, ws.accEmit()) {
 		return nil, false
 	}
-	p = &ShardPartial{Shard: shard}
-	tis := make([]int, 0, len(accs))
-	for ti := range accs {
-		tis = append(tis, ti)
+	slices.Sort(a.touched)
+	n := len(a.touched)
+	if reuse {
+		p = &ws.partial
+		p.Tasks, p.Lo, p.Hi, p.Pairs = p.Tasks[:0], p.Lo[:0], p.Hi[:0], p.Pairs[:0]
+	} else {
+		p = &ShardPartial{
+			Tasks: make([]int, 0, n),
+			Lo:    make([]int, 0, n),
+			Hi:    make([]int, 0, n),
+			Pairs: make([]int, 0, n),
+		}
 	}
-	sort.Ints(tis)
-	for _, ti := range tis {
-		a := accs[ti]
+	p.Shard = shard
+	for _, ti := range a.touched {
 		p.Tasks = append(p.Tasks, ti)
-		p.Lo = append(p.Lo, a.lo)
-		p.Hi = append(p.Hi, a.hi)
-		p.Pairs = append(p.Pairs, a.pairs)
+		p.Lo = append(p.Lo, a.lo[ti])
+		p.Hi = append(p.Hi, a.hi[ti])
+		p.Pairs = append(p.Pairs, a.pairs[ti])
 	}
 	return p, true
 }
@@ -254,37 +301,53 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 	}
 	nshards := numShards(ax.cells, size)
 
-	partials := make([]*ShardPartial, nshards)
-	if cp != nil {
-		for _, p := range cp.resumed {
-			partials[p.Shard] = p
+	// Fold each partial into the task accumulator the moment it
+	// commits, instead of retaining every partial until the end:
+	// positional integer addition is associative and commutative, so
+	// any completion order — including partials resumed from a
+	// checkpoint — reproduces the serial accumulator byte for byte,
+	// and nothing holds O(shards) memory. Not retaining partials is
+	// also what lets the workers hand out their reusable scratch
+	// partial when no Sink is watching.
+	acc := make([]destAcc, ax.tasks)
+	done := make([]bool, nshards)
+	fold := func(p *ShardPartial) {
+		for i, ti := range p.Tasks {
+			acc[ti].lo += p.Lo[i]
+			acc[ti].hi += p.Hi[i]
+			acc[ti].pairs += p.Pairs[i]
 		}
-		if opts.Sink != nil {
-			// Replay checkpointed shards in shard order so the sink
-			// observes the whole grid, not just the fresh remainder.
-			for _, p := range partials {
-				if p == nil {
-					continue
-				}
+		done[p.Shard] = true
+	}
+	if cp != nil {
+		// Replay checkpointed shards in shard order so the sink
+		// observes the whole grid, not just the fresh remainder.
+		slices.SortFunc(cp.resumed, func(a, b *ShardPartial) int { return a.Shard - b.Shard })
+		for _, p := range cp.resumed {
+			if opts.Sink != nil {
 				if err := opts.Sink(p); err != nil {
 					return nil, err
 				}
 			}
+			fold(p)
 		}
 	}
 
 	pending := make([]int, 0, nshards)
 	for s := 0; s < nshards; s++ {
-		if partials[s] == nil {
+		if !done[s] {
 			pending = append(pending, s)
 		}
 	}
 
 	// The shared unit dispatcher (plan.go) cuts the pending shards into
 	// chain-ordered units and commits each completed partial —
-	// checkpoint record first, then sink — exactly as the distributed
-	// range evaluator does.
-	err = gr.evaluatePending(ctx, g, ax, sched, size, pending, opts.Stats,
+	// checkpoint record first, then sink, then the fold — exactly as
+	// the distributed range evaluator does. The checkpoint writer
+	// marshals immediately and the fold copies the counts out, so the
+	// partial may be worker-owned scratch unless a Sink (which may
+	// retain what it sees) is present.
+	err = gr.evaluatePending(ctx, g, ax, sched, size, pending, opts.Sink == nil, opts.Stats,
 		func(p *ShardPartial) error {
 			if cp != nil {
 				if err := cp.append(p); err != nil {
@@ -296,25 +359,16 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 					return err
 				}
 			}
-			partials[p.Shard] = p
+			fold(p)
 			return nil
 		})
 	if err != nil {
 		return nil, err
 	}
 
-	// Positional merge: integer addition per task index is associative
-	// and commutative, so any completion order — including partials
-	// resumed from a checkpoint — reproduces the serial accumulator.
-	acc := make([]destAcc, ax.tasks)
-	for s, p := range partials {
-		if p == nil {
+	for s, ok := range done {
+		if !ok {
 			return nil, fmt.Errorf("sweep: internal error: shard %d missing after evaluation", s)
-		}
-		for i, ti := range p.Tasks {
-			acc[ti].lo += p.Lo[i]
-			acc[ti].hi += p.Hi[i]
-			acc[ti].pairs += p.Pairs[i]
 		}
 	}
 	return gr.reduce(g, ax, acc), nil

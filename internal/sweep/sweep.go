@@ -223,22 +223,26 @@ func (gr *Grid) expand() (*axes, error) {
 		return nil, fmt.Errorf("sweep: grid needs attackers and destinations (have %d, %d)",
 			len(gr.Attackers), len(gr.Destinations))
 	}
-	seen := map[string]bool{}
-	for _, dp := range deps {
+	// Linear dedup scans: the model axis is at most NumModels long and
+	// deployment axes are short enough that the quadratic scan is
+	// cheaper than building throwaway maps on every expand — and expand
+	// runs once per evaluation, fingerprint, and layout check.
+	for i, dp := range deps {
 		if dp.Name == "" {
 			return nil, fmt.Errorf("sweep: deployment with empty name")
 		}
-		if seen[dp.Name] {
-			return nil, fmt.Errorf("sweep: duplicate deployment name %q", dp.Name)
+		for j := 0; j < i; j++ {
+			if deps[j].Name == dp.Name {
+				return nil, fmt.Errorf("sweep: duplicate deployment name %q", dp.Name)
+			}
 		}
-		seen[dp.Name] = true
 	}
-	seenModel := map[policy.Model]bool{}
-	for _, m := range models {
-		if seenModel[m] {
-			return nil, fmt.Errorf("sweep: duplicate model %v", m)
+	for i, m := range models {
+		for j := 0; j < i; j++ {
+			if models[j] == m {
+				return nil, fmt.Errorf("sweep: duplicate model %v", m)
+			}
 		}
-		seenModel[m] = true
 	}
 	ax := &axes{
 		models: models, deps: deps,
@@ -259,10 +263,39 @@ func (gr *Grid) attackName() string {
 }
 
 // workerState is the per-worker scratch of grid evaluation: one lazily
-// built engine per security model. The engine's epoch reset makes
-// reuse across deployments and destinations cheap.
+// built engine per security model, plus the sharded path's reusable
+// accumulator, partial, and chain carry. The engine's epoch reset makes
+// reuse across deployments and destinations cheap, and the shard
+// scratch makes the steady-state shard loop allocation-free — an
+// EnginePool recycles the whole state, engines and scratch alike.
 type workerState struct {
 	engines [policy.NumModels]*core.Engine
+
+	// acc is the per-shard task accumulator (epoch-stamped, so a new
+	// shard needs no O(tasks) clear); emit is the closure that feeds it,
+	// built once so the per-shard evaluateRange call allocates nothing.
+	acc  shardAcc
+	emit func(ti, lo, hi int)
+
+	// partial is the reusable ShardPartial the commit path hands out
+	// when the caller retains nothing past the commit (see
+	// evaluatePending's reuse contract).
+	partial ShardPartial
+
+	// chainCarry hands chain-tail fixed points across the shard
+	// boundaries interior to one dispatch unit.
+	chainCarry carry
+}
+
+// accEmit returns the worker's accumulator-feeding emit closure,
+// building it on first use. Keeping the closure on the state means the
+// per-shard hot path passes a pre-existing func value instead of
+// allocating a fresh closure per shard.
+func (ws *workerState) accEmit() func(ti, lo, hi int) {
+	if ws.emit == nil {
+		ws.emit = func(ti, lo, hi int) { ws.acc.add(ti, lo, hi) }
+	}
+	return ws.emit
 }
 
 func (ws *workerState) engine(g *asgraph.Graph, model policy.Model, lp policy.LocalPref) *core.Engine {
@@ -339,12 +372,26 @@ func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result,
 // is fixed, the result is independent of how the tasks were scheduled —
 // across worker counts, shard sizes, and checkpoint resumes alike.
 func (gr *Grid) reduce(g *asgraph.Graph, ax *axes, acc []destAcc) *Result {
-	res := &Result{
-		GraphN:       g.N(),
-		LP:           gr.LP.String(),
-		Attackers:    ax.na,
-		Destinations: ax.nd,
-		Cells:        make([]Cell, 0, len(ax.deps)*ax.nm),
+	res := &Result{}
+	gr.reduceInto(g, ax, acc, res)
+	return res
+}
+
+// reduceInto is reduce writing into a caller-owned Result, reusing its
+// cell slice's capacity — the allocation-free steady state of a
+// prepared Evaluation. PerDest series are still allocated fresh per
+// call (they alias into the returned cells, so reuse would hand out
+// slices a previous caller may still hold).
+func (gr *Grid) reduceInto(g *asgraph.Graph, ax *axes, acc []destAcc, res *Result) {
+	res.GraphN = g.N()
+	res.LP = gr.LP.String()
+	res.Attack = ""
+	res.Attackers = ax.na
+	res.Destinations = ax.nd
+	if res.Cells == nil {
+		res.Cells = make([]Cell, 0, len(ax.deps)*ax.nm)
+	} else {
+		res.Cells = res.Cells[:0]
 	}
 	if gr.Attack != nil && gr.Attack.Name() != core.DefaultAttack.Name() {
 		res.Attack = gr.Attack.Name()
@@ -385,7 +432,6 @@ func (gr *Grid) reduce(g *asgraph.Graph, ax *axes, acc []destAcc) *Result {
 			res.Cells = append(res.Cells, cell)
 		}
 	}
-	return res
 }
 
 // MustEvaluate is Evaluate for statically well-formed grids.

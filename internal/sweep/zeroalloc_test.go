@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
+	"sbgp/internal/policy"
+	"sbgp/internal/runner"
+	"sbgp/internal/topogen"
+)
+
+// rolloutDeployments builds a nested rollout chain of the given length:
+// the baseline plus growing prefixes of the non-stub ASes, so the
+// chain-major scheduler gets real RunDelta chains to cut and carry.
+func rolloutDeployments(g *asgraph.Graph, steps int) []Deployment {
+	nonStubs := asgraph.NonStubs(g)
+	deps := []Deployment{{Name: "baseline"}}
+	for i := 1; i < steps; i++ {
+		k := i * 3
+		deps = append(deps, Deployment{
+			Name: fmt.Sprintf("step%d", k),
+			Dep:  &core.Deployment{Full: asgraph.SetOf(g.N(), nonStubs[:k]...)},
+		})
+	}
+	return deps
+}
+
+// TestShardLoopZeroAllocs pins the arena contract of the sharded sweep:
+// once the per-worker state is warm (engines built, accumulator and
+// partial at their high-water marks), the steady-state shard loop —
+// schedule walk, engine runs, accumulator fold, partial build, commit —
+// allocates nothing per shard. The assertion is indirect but tight:
+// one full EvaluateSharded pass over hundreds of shards must stay
+// within a fixed per-evaluation allocation budget, so even a single
+// allocation per shard would blow through it several times over. Both
+// schedules are covered: the identity order and the chain-major order
+// with its cross-shard tail carry.
+//
+// The race detector's instrumentation allocates, so the assertion only
+// runs with it off; CI's dedicated zero-alloc job covers that
+// configuration.
+func TestShardLoopZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; covered by the non-race CI job")
+	}
+	g, _ := topogen.MustGenerate(topogen.Params{N: 200, Seed: 9})
+	all := runner.AllASes(g.N())
+
+	// Per-evaluation overhead (axes, schedule, accumulator, dispatch,
+	// reduce) is allowed; it does not scale with the shard count.
+	const perEvalBudget = 100
+
+	for _, tc := range []struct {
+		name string
+		grid *Grid
+	}{
+		{"identity", &Grid{
+			Models:       []policy.Model{policy.Sec2nd},
+			Attackers:    all[:40],
+			Destinations: all[:40],
+			Incremental:  IncrementalOff,
+			Workers:      1,
+		}},
+		{"chain-major", &Grid{
+			Models:       []policy.Model{policy.Sec2nd},
+			Deployments:  rolloutDeployments(g, 6),
+			Attackers:    all[:16],
+			Destinations: all[:16],
+			Incremental:  IncrementalAuto,
+			Workers:      1,
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			gr := tc.grid
+			gr.Pool = NewEnginePool()
+			// Shard size 3 cuts chains mid-walk, so the chain-major pass
+			// exercises the tail carry on nearly every boundary.
+			opts := ShardOptions{ShardSize: 3}
+			nshards, err := gr.CellCount()
+			if err != nil {
+				t.Fatal(err)
+			}
+			nshards = NumShards(nshards, opts.ShardSize)
+			if nshards < 4*perEvalBudget {
+				t.Fatalf("grid too small to distinguish per-shard allocs (%d shards, budget %d)", nshards, perEvalBudget)
+			}
+			run := func() {
+				if _, err := gr.EvaluateSharded(context.Background(), g, opts); err != nil {
+					t.Fatal(err)
+				}
+				gr.Pool.Release()
+			}
+			run() // warm the pooled worker state
+			allocs := testing.AllocsPerRun(3, run)
+			t.Logf("%.0f allocs per %d-shard evaluation", allocs, nshards)
+			if allocs > perEvalBudget {
+				t.Errorf("%.0f allocs per %d-shard evaluation (budget %d): the shard loop is allocating per shard",
+					allocs, nshards, perEvalBudget)
+			}
+		})
+	}
+}

@@ -435,6 +435,15 @@ type EnginePool = sweep.EnginePool
 // NewEnginePool returns an empty engine pool.
 func NewEnginePool() *EnginePool { return sweep.NewEnginePool() }
 
+// Evaluation is a prepared, reusable flat evaluation of one Grid on one
+// graph — the shape of a resident service answering the same query
+// repeatedly. Build one with Grid.NewEvaluation; each Run reuses the
+// engines, accumulator, and Result, allocating nothing in steady state.
+// Not safe for concurrent use, and the returned Result is owned by the
+// Evaluation, valid only until the next Run. One-shot callers should
+// keep using Grid.Evaluate.
+type Evaluation = sweep.Evaluation
+
 // NumShards is the shard-count rule of the sharded evaluator: how many
 // shards a cell space of the given size is cut into (shardSize ≤ 0
 // means DefaultShardSize).
