@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-compare cover fmt-check vet staticcheck examples-smoke sbgpd-smoke dist-smoke fuzz-smoke ci
+.PHONY: all build test race bench bench-smoke bench-compare cover fmt-check vet staticcheck lint examples-smoke sbgpd-smoke dist-smoke fuzz-smoke ci
 
 all: build
 
@@ -18,7 +18,7 @@ cover:
 	$(GO) tool cover -func=coverage.out
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/runner/... ./internal/sweep/... ./internal/service/... ./internal/dist/...
+	$(GO) test -race ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -35,6 +35,13 @@ staticcheck:
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# lint runs sbgplint, the repo's own go/analysis suite: it mechanically
+# enforces the determinism, zero-alloc, and safety invariants that the
+# golden and AllocsPerRun tests can only check after the fact (see
+# DESIGN.md "Mechanically enforced invariants").
+lint:
+	$(GO) run ./cmd/sbgplint ./...
 
 # examples-smoke executes every example program (small N where sized)
 # so the facade-facing code paths run, not just compile.
@@ -82,4 +89,4 @@ bench-compare:
 	$(GO) run ./cmd/benchcompare
 
 # ci mirrors the blocking jobs of .github/workflows/ci.yml.
-ci: fmt-check vet staticcheck build test race examples-smoke sbgpd-smoke dist-smoke fuzz-smoke
+ci: fmt-check vet staticcheck lint build test race examples-smoke sbgpd-smoke dist-smoke fuzz-smoke

@@ -1,0 +1,62 @@
+// Command sbgplint runs the repository's invariant analyzers
+// (internal/analyzers) over the named packages — `./...` by default —
+// and exits non-zero if any finding survives its suppression check.
+// It is wired into `make lint` and a blocking CI job: the determinism,
+// zero-alloc, and confinement guarantees the tests measure are pinned
+// here at the source level.
+//
+// Usage:
+//
+//	sbgplint [-list] [packages]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sbgp/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sbgplint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sbgplint [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.NewLoader().Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "sbgplint: %v\n", err)
+		return 2
+	}
+	diags := analyzers.RunPackages(suite, pkgs)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "sbgplint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run -list: exit %d, stderr %q", code, errb.String())
+	}
+	for _, name := range []string{"mapiter", "hotalloc", "unsafeconfine", "lockblock", "strictdecode", "noclock"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"sbgp/internal/asgraph"}, &out, &errb); code != 0 {
+		t.Fatalf("expected a clean run: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+}

@@ -1,0 +1,267 @@
+// Package analyzers is sbgplint: a static-analysis suite that
+// mechanically enforces the repository's cross-cutting invariants —
+// the ones the tests can only catch when they happen to exercise the
+// violating path. Each analyzer pins one guarantee:
+//
+//   - mapiter: no unordered map iteration in determinism-critical
+//     packages (core, sweep, exp, dist) — byte-identical grids depend
+//     on positional aggregation, and a map range feeding output or a
+//     fingerprint is a latent nondeterminism bug.
+//   - hotalloc: functions annotated //sbgp:hotpath must not contain
+//     allocating constructs; the AllocsPerRun tests prove the steady
+//     state, this proves the source stays that way.
+//   - unsafeconfine: the unsafe package may only be imported by
+//     internal/core/slab.go, the one audited slab file.
+//   - lockblock: no channel send, HTTP round-trip, fsync, sleep, or
+//     //sbgp:blocking call while a mutex is held in internal/service
+//     and internal/dist — the protocol mutexes are liveness-critical.
+//   - strictdecode: every json.NewDecoder over an HTTP body must call
+//     DisallowUnknownFields (the JobSpec/dist wire contract).
+//   - noclock: no wall clock or unseeded math/rand inside the
+//     evaluation path — fingerprints and goldens must not depend on
+//     when they were computed.
+//
+// The suite is self-contained on the standard library: packages are
+// enumerated with `go list -deps -json` and type-checked with go/types
+// (loader.go), so no external analysis framework is required.
+//
+// False positives are suppressed inline with a justified comment on
+// the flagged line or the line above:
+//
+//	//sbgplint:ordered <why iteration order cannot matter here>   (mapiter)
+//	//sbgplint:allow <analyzer> <why this site is safe>           (any analyzer)
+//
+// A suppression without a justification is itself reported.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named invariant check over a single type-checked
+// package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) invocation state handed to
+// Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Index carries the module-wide annotation facts (//sbgp:hotpath,
+	// //sbgp:blocking), built over every loaded package before any
+	// analyzer runs, so cross-package facts — a blocking checkpoint
+	// append defined in sweep, called from dist — resolve.
+	Index *Index
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full sbgplint suite.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, HotAlloc, UnsafeConfine, LockBlock, StrictDecode, NoClock}
+}
+
+// Index holds module-wide annotation facts keyed by function object.
+type Index struct {
+	hotpath  map[*types.Func]bool
+	blocking map[*types.Func]bool
+}
+
+// Hotpath reports whether fn carries the //sbgp:hotpath annotation.
+func (ix *Index) Hotpath(fn *types.Func) bool { return ix != nil && ix.hotpath[fn] }
+
+// Blocking reports whether fn carries the //sbgp:blocking annotation.
+func (ix *Index) Blocking(fn *types.Func) bool { return ix != nil && ix.blocking[fn] }
+
+// HotpathNames returns the qualified names of every annotated hotpath
+// function, sorted — the real-tree test pins that the engine core and
+// the shard loop actually carry their annotations.
+func (ix *Index) HotpathNames() []string {
+	var names []string
+	for fn := range ix.hotpath {
+		names = append(names, fn.FullName())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// buildIndex scans every function doc comment in pkgs for annotations.
+func buildIndex(pkgs []*Package) *Index {
+	ix := &Index{hotpath: map[*types.Func]bool{}, blocking: map[*types.Func]bool{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if ok && fd.Doc != nil {
+					fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+					if fn == nil {
+						continue
+					}
+					for _, c := range fd.Doc.List {
+						switch directive(c.Text) {
+						case "sbgp:hotpath":
+							ix.hotpath[fn] = true
+						case "sbgp:blocking":
+							ix.blocking[fn] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// directive extracts the "word:word" directive head of a //-comment,
+// or "" if the comment is not a directive.
+func directive(text string) string {
+	if !strings.HasPrefix(text, "//") {
+		return ""
+	}
+	rest := strings.TrimPrefix(text, "//")
+	if strings.HasPrefix(rest, " ") { // directives are unspaced, like //go:
+		return ""
+	}
+	head, _, _ := strings.Cut(rest, " ")
+	return head
+}
+
+// suppression is one parsed //sbgplint: comment.
+type suppression struct {
+	analyzer string // "" means mapiter's dedicated ordered spelling
+	reason   string
+	pos      token.Pos
+}
+
+// suppressionsFor maps "file:line" to the suppressions that cover
+// diagnostics on that line (the comment's own line and the line below).
+func suppressionsFor(fset *token.FileSet, files []*ast.File) map[string][]suppression {
+	m := map[string][]suppression{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				var sup suppression
+				switch directive(c.Text) {
+				case "sbgplint:ordered":
+					sup = suppression{analyzer: "mapiter", pos: c.Pos()}
+					sup.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "sbgplint:ordered"))
+				case "sbgplint:allow":
+					rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "sbgplint:allow"))
+					name, reason, _ := strings.Cut(rest, " ")
+					sup = suppression{analyzer: name, reason: strings.TrimSpace(reason), pos: c.Pos()}
+				default:
+					continue
+				}
+				p := fset.Position(c.Pos())
+				for _, line := range []int{p.Line, p.Line + 1} {
+					key := fmt.Sprintf("%s:%d", p.Filename, line)
+					m[key] = append(m[key], sup)
+				}
+			}
+		}
+	}
+	return m
+}
+
+// RunPackages runs every analyzer over every package and returns the
+// surviving diagnostics, sorted by position. Suppression comments
+// filter matching findings; a suppression missing its justification is
+// converted into a finding of its own.
+func RunPackages(analyzers []*Analyzer, pkgs []*Package) []Diagnostic {
+	index := buildIndex(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sups := suppressionsFor(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			var raw []Diagnostic
+			a.Run(&Pass{
+				Analyzer: a, Fset: pkg.Fset, Files: pkg.Files,
+				Pkg: pkg.Types, Info: pkg.Info, Index: index, diags: &raw,
+			})
+			for _, d := range raw {
+				if sup, ok := matchSuppression(sups, d); ok {
+					if sup.reason == "" {
+						d.Message = fmt.Sprintf("suppression of %s needs a justification after the directive", d.Analyzer)
+						d.Analyzer = "sbgplint"
+						diags = append(diags, d)
+					}
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+func matchSuppression(sups map[string][]suppression, d Diagnostic) (suppression, bool) {
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	for _, s := range sups[key] {
+		if s.analyzer == d.Analyzer {
+			return s, true
+		}
+	}
+	return suppression{}, false
+}
+
+// pkgSegment reports whether the package path's final segment is one
+// of names — how the analyzers scope themselves to the determinism-
+// critical packages while remaining testable from fixture paths.
+func pkgSegment(pkg *types.Package, names ...string) bool {
+	path := pkg.Path()
+	seg := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		seg = path[i+1:]
+	}
+	for _, n := range names {
+		if seg == n {
+			return true
+		}
+	}
+	return false
+}

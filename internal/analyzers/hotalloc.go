@@ -1,0 +1,248 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc checks functions annotated //sbgp:hotpath — the engine core
+// (Engine.RunAttack, Engine.RunDelta), the shard evaluation loop, and
+// runner.ForEach's serial path — for constructs that allocate on every
+// execution. The zero-alloc AllocsPerRun tests prove the steady state
+// empirically; this analyzer pins the source so a stray fmt.Sprintf or
+// map literal cannot slip in between test runs. Flagged constructs:
+//
+//   - map, slice, and pointer-to-composite literals;
+//   - make of a map, slice, or channel, and new(T);
+//   - append whose result is not assigned back to its own first
+//     argument (the self-append x = append(x, ...) is the sanctioned
+//     amortized-zero growth idiom);
+//   - go statements and closures capturing enclosing variables
+//     (a deferred func(){...}() is exempt: open-coded defers keep the
+//     closure on the stack);
+//   - any call into package fmt;
+//   - call arguments boxed into interface parameters from non-pointer
+//     concrete types (untyped constants are exempt — their boxing is
+//     static).
+//
+// Cold sub-paths inside a hot function (an explicitly documented
+// fallback, a grow-once branch) carry //sbgplint:allow hotalloc with
+// the justification inline.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocating constructs in //sbgp:hotpath functions",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !pass.Index.Hotpath(fn) {
+				continue
+			}
+			(&hotChecker{pass: pass, fn: fd}).block(fd.Body)
+		}
+	}
+}
+
+type hotChecker struct {
+	pass *Pass
+	fn   *ast.FuncDecl
+}
+
+func (h *hotChecker) block(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			h.pass.Reportf(v.Pos(), "go statement in hotpath function %s allocates a goroutine", h.fn.Name.Name)
+		case *ast.DeferStmt:
+			// defer func(){...}() is open-coded and stack-allocated;
+			// walk its body for other violations but skip the capture
+			// check on the literal itself.
+			if lit, ok := v.Call.Fun.(*ast.FuncLit); ok {
+				h.block(lit.Body)
+				return false
+			}
+		case *ast.FuncLit:
+			if h.captures(v) {
+				h.pass.Reportf(v.Pos(), "closure capturing enclosing variables in hotpath function %s allocates", h.fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			tv, ok := h.pass.Info.Types[v]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				h.pass.Reportf(v.Pos(), "map literal in hotpath function %s allocates", h.fn.Name.Name)
+			case *types.Slice:
+				h.pass.Reportf(v.Pos(), "slice literal in hotpath function %s allocates", h.fn.Name.Name)
+			}
+		case *ast.UnaryExpr:
+			// &T{...} escapes when it outlives the frame; the engine's
+			// hot paths write into preallocated state instead.
+			if v.Op == token.AND {
+				if _, ok := v.X.(*ast.CompositeLit); ok {
+					h.pass.Reportf(v.Pos(), "pointer-to-composite literal in hotpath function %s allocates", h.fn.Name.Name)
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			h.call(v)
+		}
+		return true
+	})
+}
+
+func (h *hotChecker) call(call *ast.CallExpr) {
+	if isBuiltin(h.pass, call.Fun, "make") {
+		tv, ok := h.pass.Info.Types[call]
+		if ok {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map, *types.Slice, *types.Chan:
+				h.pass.Reportf(call.Pos(), "make in hotpath function %s allocates", h.fn.Name.Name)
+			}
+		}
+		return
+	}
+	if isBuiltin(h.pass, call.Fun, "new") {
+		h.pass.Reportf(call.Pos(), "new in hotpath function %s allocates", h.fn.Name.Name)
+		return
+	}
+	if isBuiltin(h.pass, call.Fun, "append") {
+		if !h.selfAppend(call) {
+			h.pass.Reportf(call.Pos(), "append in hotpath function %s must be a self-append (x = append(x, ...)) to stay amortized-zero", h.fn.Name.Name)
+		}
+		return
+	}
+	if fn, ok := calleeObject(h.pass, call.Fun).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		h.pass.Reportf(call.Pos(), "fmt.%s in hotpath function %s allocates", fn.Name(), h.fn.Name.Name)
+		return
+	}
+	h.boxedArgs(call)
+}
+
+// selfAppend reports whether call appears as x = append(x, ...) — the
+// grow-in-place idiom whose steady state allocates nothing once
+// capacity has plateaued.
+func (h *hotChecker) selfAppend(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	as, ok := h.enclosingAssign(call)
+	if !ok || len(as.Lhs) != 1 {
+		return false
+	}
+	return exprString(as.Lhs[0]) == exprString(call.Args[0])
+}
+
+// enclosingAssign finds the single-value assignment whose RHS is
+// exactly this call, by re-walking the function body (the checker has
+// no parent links).
+func (h *hotChecker) enclosingAssign(call *ast.CallExpr) (*ast.AssignStmt, bool) {
+	var found *ast.AssignStmt
+	ast.Inspect(h.fn.Body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && len(as.Rhs) == 1 && ast.Unparen(as.Rhs[0]) == ast.Expr(call) {
+			found = as
+			return false
+		}
+		return true
+	})
+	return found, found != nil
+}
+
+// boxedArgs flags arguments converted to interface parameters from
+// non-pointer concrete types.
+func (h *hotChecker) boxedArgs(call *ast.CallExpr) {
+	tv, ok := h.pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or builtin
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // pass-through of an existing slice
+			}
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := h.pass.Info.Types[arg]
+		if !ok || atv.Value != nil || atv.IsNil() {
+			continue // untyped constants and nil box statically
+		}
+		switch atv.Type.Underlying().(type) {
+		case *types.Interface, *types.Pointer, *types.Signature, *types.Map, *types.Chan:
+			continue // already a reference; no box
+		}
+		h.pass.Reportf(arg.Pos(), "argument boxes non-pointer %s into interface parameter in hotpath function %s", atv.Type, h.fn.Name.Name)
+	}
+}
+
+// captures reports whether lit references an object declared in the
+// enclosing function (forcing a heap-allocated closure context).
+func (h *hotChecker) captures(lit *ast.FuncLit) bool {
+	inside := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := h.pass.Info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := h.pass.Info.Uses[id]
+		if obj == nil || inside[obj] {
+			return true
+		}
+		if v, ok := obj.(*types.Var); ok && !v.IsField() && v.Pkg() == h.pass.Pkg && !isPkgLevel(v) {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() == v.Pkg().Scope()
+}
+
+func exprString(e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(v.X) + "[" + exprString(v.Index) + "]"
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.CallExpr:
+		return "call:" + exprString(v.Fun)
+	}
+	return "?"
+}

@@ -1,0 +1,158 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file is the suite's package loader: `go list -deps -json`
+// enumerates the transitive package set in dependency order, each
+// package is parsed with go/parser and type-checked with go/types
+// against the packages already checked. Nothing outside the standard
+// library is needed, which is the point — the linter must build in the
+// same hermetic environment as the code it checks. Standard-library
+// dependencies are checked with IgnoreFuncBodies (their exported API
+// is all the analyzers ever look at); analyzed packages keep their
+// syntax, comments, and full types.Info.
+
+// Package is one loaded, type-checked, analyzable package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks packages, caching type information so
+// repeated Load calls (fixture tests, the real-tree test) share work.
+type Loader struct {
+	fset     *token.FileSet
+	imported map[string]*types.Package
+	sizes    types.Sizes
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	return &Loader{
+		fset:     token.NewFileSet(),
+		imported: map[string]*types.Package{},
+		sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+}
+
+// Load enumerates patterns from dir with the go command and returns
+// the matched (non-standard-library) packages, type-checked, in
+// dependency order. Standard-library dependencies are loaded into the
+// importer cache but not returned.
+func (l *Loader) Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Name,Standard,GoFiles,Imports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// CGO off: every std package then resolves to its pure-Go variant,
+	// which is the only one go/types can check from source alone.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var pkgs []*Package
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.ImportPath == "unsafe" || l.imported[lp.ImportPath] != nil {
+			continue
+		}
+		pkg, err := l.check(&lp)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.Standard {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package, in an order where
+// its dependencies are already cached (go list -deps emits deps
+// first).
+func (l *Loader) check(lp *listPackage) (*Package, error) {
+	mode := parser.SkipObjectResolution
+	if !lp.Standard {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := &types.Config{
+		Importer:         l,
+		Sizes:            l.sizes,
+		IgnoreFuncBodies: lp.Standard,
+	}
+	tpkg, err := cfg.Check(lp.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+	}
+	l.imported[lp.ImportPath] = tpkg
+	return &Package{Path: lp.ImportPath, Dir: lp.Dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Import resolves an import from the cache filled by Load's
+// dependency-ordered walk. The standard library vendors x/net and
+// friends under the "vendor/" prefix while source files import the
+// bare path, hence the second lookup.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := l.imported[path]; p != nil {
+		return p, nil
+	}
+	if p := l.imported["vendor/"+path]; p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("package %q not in loader cache (go list -deps should have emitted it first)", path)
+}
+
+var _ types.Importer = (*Loader)(nil)

@@ -1,0 +1,406 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockBlock forbids blocking operations while a sync.Mutex or RWMutex
+// is held, in internal/service and internal/dist — the two packages
+// whose protocol mutexes gate every HTTP request, lease, and
+// heartbeat. A blocking call under the lock turns one slow disk or one
+// slow peer into a stall of the whole protocol surface. Flagged while
+// a lock is held:
+//
+//   - channel sends, unless inside a select that has a default clause
+//     (the coalescing notify idiom is exactly why that exemption
+//     exists);
+//   - time.Sleep;
+//   - (*os.File).Sync — fsync under a protocol mutex serializes every
+//     caller behind the disk;
+//   - net/http round-trips (package helpers and http.Client methods);
+//   - calls to functions annotated //sbgp:blocking (how an fsync
+//     buried inside another package's method, like the checkpoint
+//     writer's Add, is declared to callers).
+//
+// The tracking is a branch-sensitive source-order walk per function:
+// Lock/RLock on a mutex-typed receiver marks it held, Unlock/RUnlock
+// releases it, a deferred unlock keeps it held to the end of the
+// function. Conditional branches are walked with their own copy of the
+// held set; a branch that terminates (return, panic, break/continue)
+// contributes nothing to the fall-through state — so the early-return
+// unlock idiom (`if err != nil { mu.Unlock(); return err }`) does not
+// release the lock on the path that continues — and the states of the
+// continuing branches union together ("possibly held" flags). Sites
+// where holding a dedicated lock across a blocking call is the
+// documented design (not the protocol mutex) carry
+// //sbgplint:allow lockblock with the justification.
+var LockBlock = &Analyzer{
+	Name: "lockblock",
+	Doc:  "forbid blocking operations while a mutex is held in service/dist",
+	Run:  runLockBlock,
+}
+
+func runLockBlock(pass *Pass) {
+	if !pkgSegment(pass.Pkg, "service", "dist") {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			lc := &lockChecker{pass: pass, held: map[string]bool{}}
+			lc.stmts(fd.Body.List)
+		}
+	}
+}
+
+type lockChecker struct {
+	pass *Pass
+	held map[string]bool
+}
+
+func (lc *lockChecker) anyHeld() bool { return len(lc.held) > 0 }
+
+// stmts walks a statement list in source order, updating the held set
+// and flagging blocking operations executed while it is non-empty.
+func (lc *lockChecker) stmts(list []ast.Stmt) {
+	for _, stmt := range list {
+		lc.stmt(stmt)
+	}
+}
+
+func (lc *lockChecker) stmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if mu, op, ok := lockOp(lc.pass, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				lc.held[mu] = true
+			case "Unlock", "RUnlock":
+				delete(lc.held, mu)
+			}
+			return
+		}
+		lc.exprs(s.X)
+	case *ast.DeferStmt:
+		// A deferred unlock leaves the lock held for the remainder of
+		// the function; a deferred anything-else runs outside the
+		// region this linear walk models, so its arguments are checked
+		// (evaluated now) but its effect is not.
+		lc.exprsList(s.Call.Args...)
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			_ = lit // deferred closure body runs at return; skip
+		}
+	case *ast.SendStmt:
+		if lc.anyHeld() {
+			lc.pass.Reportf(s.Arrow, "channel send while %s is held can block the protocol", lc.heldName())
+		}
+		lc.exprsList(s.Chan, s.Value)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		var outs []map[string]bool
+		for _, clause := range s.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && lc.anyHeld() {
+				lc.pass.Reportf(send.Arrow, "blocking select send while %s is held; add a default clause to coalesce", lc.heldName())
+			}
+			if after, term := lc.branchStmts(cc.Body); !term {
+				outs = append(outs, after)
+			}
+		}
+		lc.held = unionHeld(outs...)
+	case *ast.BlockStmt:
+		lc.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init)
+		}
+		lc.exprs(s.Cond)
+		var outs []map[string]bool
+		if after, term := lc.branchStmt(s.Body); !term {
+			outs = append(outs, after)
+		}
+		if s.Else != nil {
+			if after, term := lc.branchStmt(s.Else); !term {
+				outs = append(outs, after)
+			}
+		} else {
+			outs = append(outs, lc.held) // condition false: fall through unchanged
+		}
+		lc.held = unionHeld(outs...)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			lc.exprs(s.Cond)
+		}
+		after, _ := lc.branchStmt(s.Body)
+		if s.Post != nil {
+			lc.stmt(s.Post)
+		}
+		// The body may run zero times; possibly-held is the union.
+		lc.held = unionHeld(lc.held, after)
+	case *ast.RangeStmt:
+		lc.exprs(s.X)
+		after, _ := lc.branchStmt(s.Body)
+		lc.held = unionHeld(lc.held, after)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			lc.exprs(s.Tag)
+		}
+		lc.caseClauses(s.Body.List, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init)
+		}
+		lc.caseClauses(s.Body.List, false)
+	case *ast.AssignStmt:
+		lc.exprsList(s.Rhs...)
+	case *ast.ReturnStmt:
+		lc.exprsList(s.Results...)
+	case *ast.GoStmt:
+		lc.exprsList(s.Call.Args...)
+	case *ast.LabeledStmt:
+		lc.stmt(s.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					lc.exprsList(vs.Values...)
+				}
+			}
+		}
+	}
+}
+
+// caseClauses walks switch/type-switch clauses as branches: each gets
+// its own copy of the held set, terminating clauses drop out, and —
+// when no default clause guarantees a branch is taken — the pre-switch
+// state joins the union too.
+func (lc *lockChecker) caseClauses(clauses []ast.Stmt, evalList bool) {
+	hasDefault := false
+	var outs []map[string]bool
+	for _, clause := range clauses {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if evalList {
+			lc.exprsList(cc.List...)
+		}
+		if after, term := lc.branchStmts(cc.Body); !term {
+			outs = append(outs, after)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, lc.held)
+	}
+	lc.held = unionHeld(outs...)
+}
+
+// branchStmts walks list under a copy of the held set and returns the
+// resulting state plus whether the path always leaves the enclosing
+// control flow (so its state never reaches the fall-through join).
+func (lc *lockChecker) branchStmts(list []ast.Stmt) (after map[string]bool, terminated bool) {
+	saved := lc.held
+	lc.held = unionHeld(saved) // copy
+	lc.stmts(list)
+	after = lc.held
+	lc.held = saved
+	return after, terminatesList(list)
+}
+
+func (lc *lockChecker) branchStmt(s ast.Stmt) (map[string]bool, bool) {
+	return lc.branchStmts([]ast.Stmt{s})
+}
+
+// unionHeld returns a fresh union of the given held sets ("possibly
+// held" is the flagging polarity).
+func unionHeld(sets ...map[string]bool) map[string]bool {
+	m := map[string]bool{}
+	for _, s := range sets {
+		for k := range s {
+			m[k] = true
+		}
+	}
+	return m
+}
+
+// terminatesList reports whether executing list always leaves the
+// enclosing control flow — a syntactic check on the trailing statement
+// (return, panic, break/continue/goto, or an if whose branches both
+// terminate).
+func terminatesList(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return terminatesStmt(list[len(list)-1])
+}
+
+func terminatesStmt(s ast.Stmt) bool {
+	switch t := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return terminatesList(t.List)
+	case *ast.LabeledStmt:
+		return terminatesStmt(t.Stmt)
+	case *ast.IfStmt:
+		return t.Else != nil && terminatesStmt(t.Body) && terminatesStmt(t.Else)
+	case *ast.ExprStmt:
+		if call, ok := t.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// exprsList checks several expressions.
+func (lc *lockChecker) exprsList(list ...ast.Expr) {
+	for _, e := range list {
+		if e != nil {
+			lc.exprs(e)
+		}
+	}
+}
+
+// exprs flags blocking calls inside an expression evaluated while
+// locks are held. Function-literal bodies are not evaluated here
+// (they run later, in whatever lock context their caller has), except
+// immediately invoked ones.
+func (lc *lockChecker) exprs(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if inv, isInvoked := litInvoked(e, lit); isInvoked {
+				lc.stmts(inv.Body.List)
+			}
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !lc.anyHeld() {
+			return true
+		}
+		if why := blockingCall(lc.pass, call); why != "" {
+			lc.pass.Reportf(call.Pos(), "%s while %s is held can block the protocol", why, lc.heldName())
+		}
+		return true
+	})
+}
+
+// litInvoked reports whether lit is immediately invoked within e
+// (func(){...}()).
+func litInvoked(e ast.Expr, lit *ast.FuncLit) (*ast.FuncLit, bool) {
+	invoked := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && ast.Unparen(call.Fun) == ast.Expr(lit) {
+			invoked = true
+		}
+		return true
+	})
+	return lit, invoked
+}
+
+func (lc *lockChecker) heldName() string {
+	names := make([]string, 0, len(lc.held))
+	for mu := range lc.held {
+		names = append(names, mu)
+	}
+	sort.Strings(names) // deterministic diagnostic text
+	return strings.Join(names, ", ")
+}
+
+// lockOp recognizes X.Lock/RLock/Unlock/RUnlock on a sync mutex and
+// returns the mutex expression's printable name.
+func lockOp(pass *Pass, e ast.Expr) (mu, op string, ok bool) {
+	call, okc := ast.Unparen(e).(*ast.CallExpr)
+	if !okc {
+		return "", "", false
+	}
+	sel, oks := call.Fun.(*ast.SelectorExpr)
+	if !oks {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okt := pass.Info.Types[sel.X]
+	if !okt || !isSyncMutex(tv.Type) {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" &&
+		(named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex")
+}
+
+// blockingCall classifies a call as blocking, returning a short label
+// or "".
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	fn, ok := calleeObject(pass, call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "os":
+		if fn.Name() == "Sync" && sig != nil && sig.Recv() != nil {
+			return "os.File.Sync (fsync)"
+		}
+	case "net/http":
+		if sig != nil && sig.Recv() == nil {
+			switch fn.Name() {
+			case "Get", "Head", "Post", "PostForm":
+				return "net/http round-trip"
+			}
+		} else if sig != nil && sig.Recv() != nil {
+			recv := sig.Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok && named.Obj().Name() == "Client" {
+				return "http.Client round-trip"
+			}
+		}
+	}
+	if pass.Index.Blocking(fn) {
+		return fn.Name() + " (//sbgp:blocking)"
+	}
+	return ""
+}

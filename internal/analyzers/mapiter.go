@@ -1,0 +1,200 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `range` over a map in the determinism-critical
+// packages (core, sweep, exp, dist): Go randomizes map iteration
+// order, so a map range feeding output bytes, a fingerprint, or a
+// work list is a latent byte-identity bug — the exact failure mode
+// the golden and sharded-equivalence tests exist to prevent, except
+// mechanical.
+//
+// Three shapes are allowed:
+//   - neither the key nor the value is bound (pure counting bodies
+//     cannot observe the order);
+//   - the canonical collect-then-sort idiom — the body only appends
+//     the key (or value) to a slice that a later statement in the same
+//     block sorts;
+//   - a `//sbgplint:ordered <reason>` justification on the range line
+//     or the line above.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flag unordered map iteration in determinism-critical packages",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	if !pkgSegment(pass.Pkg, "core", "sweep", "exp", "dist") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isBlank(rs.Key) && isBlank(rs.Value) {
+				return true
+			}
+			if sortedCollect(pass, rs, f) {
+				return true
+			}
+			pass.Reportf(rs.For, "map iteration order is randomized; sort the keys first or justify with //sbgplint:ordered")
+			return true
+		})
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// sortedCollect recognizes the collect-then-sort idiom: the range body
+// is nothing but appends of the key/value into slices, and a statement
+// after the range in the enclosing block passes one of those slices to
+// sort.* or slices.Sort*.
+func sortedCollect(pass *Pass, rs *ast.RangeStmt, file *ast.File) bool {
+	var collected []types.Object
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call.Fun, "append") {
+			return false
+		}
+		obj := rootObject(pass, as.Lhs[0])
+		if obj == nil {
+			return false
+		}
+		collected = append(collected, obj)
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	// Find the statement block containing the range and scan the
+	// statements after it for a sort of a collected slice.
+	var after []ast.Stmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		block, ok := blockOf(n)
+		if !ok {
+			return true
+		}
+		for i, stmt := range block {
+			if stmt == ast.Stmt(rs) {
+				after = block[i+1:]
+				return false
+			}
+		}
+		return true
+	})
+	for _, stmt := range after {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSortCall(pass, call.Fun) {
+				return true
+			}
+			for _, arg := range call.Args {
+				obj := rootObject(pass, arg)
+				for _, c := range collected {
+					if obj == c {
+						found = true
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func blockOf(n ast.Node) ([]ast.Stmt, bool) {
+	switch b := n.(type) {
+	case *ast.BlockStmt:
+		return b.List, true
+	case *ast.CaseClause:
+		return b.Body, true
+	case *ast.CommClause:
+		return b.Body, true
+	}
+	return nil, false
+}
+
+// rootObject resolves the base identifier of an lvalue-ish expression
+// (x, x.f, x[i] all root at x's object).
+func rootObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[v]
+		case *ast.SelectorExpr:
+			return pass.Info.Uses[v.Sel]
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isSortCall reports a call into package sort, or a slices.Sort*
+// generic.
+func isSortCall(pass *Pass, fun ast.Expr) bool {
+	obj := calleeObject(pass, fun)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return len(obj.Name()) >= 4 && obj.Name()[:4] == "Sort"
+	}
+	return false
+}
+
+// calleeObject resolves the called function's object, seeing through
+// parens and generic instantiation.
+func calleeObject(pass *Pass, fun ast.Expr) types.Object {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[f]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[f.Sel]
+	case *ast.IndexExpr:
+		return calleeObject(pass, f.X)
+	case *ast.IndexListExpr:
+		return calleeObject(pass, f.X)
+	}
+	return nil
+}

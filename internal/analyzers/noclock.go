@@ -1,0 +1,62 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoClock forbids wall-clock and unseeded-randomness reads inside the
+// evaluation path (core, sweep, exp, policy, deploy, asgraph, maxk,
+// rootcause, runner, topogen): grid fingerprints, goldens, and the
+// paper figures must be pure functions of (topology, seed, spec), so
+// time.Now and the process-global math/rand stream — seeded behind the
+// program's back — have no business there. Explicitly seeded
+// generators (rand.New(rand.NewSource(seed)) and the rand/v2
+// equivalents) are what topogen already uses and remain allowed.
+var NoClock = &Analyzer{
+	Name: "noclock",
+	Doc:  "forbid time.Now and unseeded math/rand in the evaluation path",
+	Run:  runNoClock,
+}
+
+// noClockAllowed are the constructor-shaped math/rand functions that
+// produce explicitly seeded state rather than drawing from the global
+// stream.
+var noClockAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runNoClock(pass *Pass) {
+	if !pkgSegment(pass.Pkg, "core", "sweep", "exp", "policy", "deploy", "asgraph", "maxk", "rootcause", "runner", "topogen") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObject(pass, call.Fun)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			// Package-level functions only: methods on an explicitly
+			// constructed *rand.Rand are the sanctioned spelling.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(call.Pos(), "time.Now in the evaluation path: results must not depend on the wall clock")
+				}
+			case "math/rand", "math/rand/v2":
+				if !noClockAllowed[fn.Name()] {
+					pass.Reportf(call.Pos(), "%s.%s draws from the unseeded global stream; construct a seeded rand.New(rand.NewSource(seed)) instead", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

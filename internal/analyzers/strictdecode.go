@@ -1,0 +1,133 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StrictDecode enforces the wire contract of the JobSpec and dist
+// protocols: every json.NewDecoder whose input is an HTTP body must
+// call DisallowUnknownFields before decoding. A lenient decoder
+// silently drops fields a newer client sends — exactly the versioning
+// failure the JobSpec rules in DESIGN.md forbid — so the strictness
+// must be mechanical, not conventional.
+var StrictDecode = &Analyzer{
+	Name: "strictdecode",
+	Doc:  "require DisallowUnknownFields on json decoders fed by HTTP bodies",
+	Run:  runStrictDecode,
+}
+
+func runStrictDecode(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStrictDecode(pass, fd.Body)
+		}
+	}
+}
+
+func checkStrictDecode(pass *Pass, body *ast.BlockStmt) {
+	// First pass: every object that ever receives a DisallowUnknownFields
+	// call in this function.
+	strict := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "DisallowUnknownFields" {
+			if obj := rootObject(pass, sel.X); obj != nil {
+				strict[obj] = true
+			}
+		}
+		return true
+	})
+	// Second pass: every json.NewDecoder over an HTTP body must either
+	// land in a strict variable or is flagged (a chained
+	// .Decode(...) has nowhere to put the call at all).
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && isHTTPBodyDecoder(pass, call) {
+				obj := assignedObject(pass, as.Lhs[0])
+				if obj == nil || !strict[obj] {
+					pass.Reportf(call.Pos(), "json.NewDecoder over an HTTP body must call DisallowUnknownFields before decoding")
+				}
+				return false
+			}
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok && isHTTPBodyDecoder(pass, inner) {
+				// json.NewDecoder(r.Body).Decode(&v): no decoder variable
+				// exists to make strict.
+				pass.Reportf(inner.Pos(), "json.NewDecoder over an HTTP body must call DisallowUnknownFields before decoding")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func assignedObject(pass *Pass, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := pass.Info.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.Info.Uses[id]
+	}
+	return rootObject(pass, e)
+}
+
+// isHTTPBodyDecoder reports whether call is json.NewDecoder(x) with x
+// an HTTP body: a .Body selector on *http.Request / *http.Response, or
+// an http.MaxBytesReader wrapper (whose second argument is the body).
+func isHTTPBodyDecoder(pass *Pass, call *ast.CallExpr) bool {
+	fn, ok := calleeObject(pass, call.Fun).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" || fn.Name() != "NewDecoder" {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return false
+	}
+	httpish := false
+	ast.Inspect(call.Args[0], func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.SelectorExpr:
+			if v.Sel.Name == "Body" && isHTTPMessage(pass, v.X) {
+				httpish = true
+			}
+		case *ast.CallExpr:
+			if fn, ok := calleeObject(pass, v.Fun).(*types.Func); ok && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "net/http" && fn.Name() == "MaxBytesReader" {
+				httpish = true
+			}
+		}
+		return true
+	})
+	return httpish
+}
+
+func isHTTPMessage(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" &&
+		(named.Obj().Name() == "Request" || named.Obj().Name() == "Response")
+}

@@ -1,0 +1,64 @@
+// Package hot is a hotalloc fixture: only //sbgp:hotpath functions
+// are checked, and every allocating construct in one is flagged.
+package hot
+
+import "fmt"
+
+type state struct {
+	buf  []int
+	name string
+}
+
+func sink(args ...any) {}
+
+//sbgp:hotpath
+func bad(s *state, n int) {
+	m := map[int]int{} // want "map literal in hotpath function bad allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal in hotpath function bad allocates"
+	p := &state{}     // want "pointer-to-composite literal in hotpath function bad allocates"
+	_ = p
+	q := make([]int, n) // want "make in hotpath function bad allocates"
+	_ = q
+	r := new(state) // want "new in hotpath function bad allocates"
+	_ = r
+	s.buf = append(sl, n) // want "must be a self-append"
+	fmt.Println(n)        // want "fmt.Println in hotpath function bad allocates"
+	go func() {}()        // want "go statement in hotpath function bad allocates"
+	f := func() int {     // want "closure capturing enclosing variables in hotpath function bad"
+		return n
+	}
+	_ = f()
+	sink(n) // want "boxes non-pointer int into interface parameter"
+}
+
+//sbgp:hotpath
+func good(s *state, n int) {
+	s.buf = s.buf[:0]
+	for i := 0; i < n; i++ {
+		s.buf = append(s.buf, i)
+	}
+	st := state{name: "fixed"}
+	_ = st
+	defer func() {
+		s.buf = s.buf[:0]
+	}()
+	sink(nil, "label", 7, s)
+}
+
+//sbgp:hotpath
+func grow(s *state, n int) {
+	if cap(s.buf) < n {
+		//sbgplint:allow hotalloc grow-once branch: runs only when a larger grid arrives
+		s.buf = make([]int, 0, n)
+	}
+	s.buf = s.buf[:0]
+}
+
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+// Package service is a lockblock fixture: its import path ends in a
+// protocol-package segment, so blocking operations under a held mutex
+// are flagged.
+package service
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	ch chan struct{}
+	f  *os.File
+}
+
+func (s *S) send() {
+	s.mu.Lock()
+	s.ch <- struct{}{} // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *S) sleep() {
+	s.mu.Lock()
+	time.Sleep(time.Second) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *S) fsync() {
+	s.mu.Lock()
+	s.f.Sync() // want "os.File.Sync"
+	s.mu.Unlock()
+}
+
+func (s *S) fetch() {
+	s.mu.Lock()
+	http.Get("http://localhost/") // want "net/http round-trip while s.mu is held"
+	s.mu.Unlock()
+}
+
+// earlyReturn pins the branch-sensitivity of the walk: the unlock on
+// the error path must not release the lock on the path that continues.
+func (s *S) earlyReturn(err error) {
+	s.mu.Lock()
+	if err != nil {
+		s.mu.Unlock()
+		return
+	}
+	time.Sleep(time.Second) // want "time.Sleep while s.mu is held"
+	s.mu.Unlock()
+}
+
+func (s *S) afterUnlock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Second)
+}
+
+func (s *S) deferred() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Second) // want "time.Sleep while s.mu is held"
+}
+
+func (s *S) coalesced() {
+	s.mu.Lock()
+	select {
+	case s.ch <- struct{}{}:
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) selectNoDefault(done chan struct{}) {
+	s.mu.Lock()
+	select {
+	case s.ch <- struct{}{}: // want "blocking select send while s.mu is held"
+	case <-done:
+	}
+	s.mu.Unlock()
+}
+
+//sbgp:blocking
+func flush() {}
+
+func (s *S) callsBlocking() {
+	s.mu.Lock()
+	flush() // want "flush"
+	s.mu.Unlock()
+}
+
+func (s *S) allowed() {
+	s.mu.Lock()
+	//sbgplint:allow lockblock dedicated lock; the fsync here is the documented design
+	s.f.Sync()
+	s.mu.Unlock()
+}

@@ -1,0 +1,48 @@
+// Package core is a mapiter fixture: its import path ends in a
+// determinism-critical segment, so unsorted map ranges are flagged.
+package core
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want "map iteration order is randomized"
+		total += len(k) + v
+	}
+	return total
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func justified(m map[string]int) int {
+	total := 0
+	//sbgplint:ordered summing is commutative
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func unjustified(m map[string]int) int {
+	total := 0
+	//sbgplint:ordered
+	for _, v := range m { // want "needs a justification"
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,11 @@
+// Package other sits outside the determinism-critical package set, so
+// mapiter leaves its map ranges alone.
+package other
+
+func anyOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+// Package core is a noclock fixture: its import path ends in an
+// evaluation-path segment, so wall-clock and unseeded-randomness reads
+// are flagged.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in the evaluation path"
+}
+
+func draw() int {
+	return rand.Intn(10) // want "draws from the unseeded global stream"
+}
+
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func elapsed(d time.Duration) time.Duration {
+	return d * 2
+}

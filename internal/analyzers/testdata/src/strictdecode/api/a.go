@@ -1,0 +1,55 @@
+// Package api is a strictdecode fixture: decoders over HTTP bodies
+// must call DisallowUnknownFields.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+type payload struct {
+	X int `json:"x"`
+}
+
+func lenient(r *http.Request) error {
+	dec := json.NewDecoder(r.Body) // want "must call DisallowUnknownFields"
+	var p payload
+	return dec.Decode(&p)
+}
+
+func chained(r *http.Request) error {
+	var p payload
+	return json.NewDecoder(r.Body).Decode(&p) // want "must call DisallowUnknownFields"
+}
+
+func strict(r *http.Request) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var p payload
+	return dec.Decode(&p)
+}
+
+func limited(w http.ResponseWriter, r *http.Request) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)) // want "must call DisallowUnknownFields"
+	var p payload
+	return dec.Decode(&p)
+}
+
+func limitedStrict(w http.ResponseWriter, r *http.Request) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var p payload
+	return dec.Decode(&p)
+}
+
+func response(res *http.Response) error {
+	var p payload
+	return json.NewDecoder(res.Body).Decode(&p) // want "must call DisallowUnknownFields"
+}
+
+func notHTTP(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var p payload
+	return dec.Decode(&p)
+}

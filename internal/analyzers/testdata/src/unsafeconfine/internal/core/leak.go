@@ -1,0 +1,7 @@
+package core
+
+import "unsafe" // want "unsafe may only be imported by internal/core/slab.go"
+
+func leak(b []byte) uintptr {
+	return uintptr(unsafe.Pointer(&b[0]))
+}

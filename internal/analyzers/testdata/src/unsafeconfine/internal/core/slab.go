@@ -1,0 +1,9 @@
+// Package core is an unsafeconfine fixture: this file's path ends in
+// internal/core/slab.go, the one location allowed to import unsafe.
+package core
+
+import "unsafe"
+
+func sectionOf(p unsafe.Pointer, n int) []byte {
+	return unsafe.Slice((*byte)(p), n)
+}

@@ -1,0 +1,44 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// UnsafeConfine restricts the unsafe package to internal/core/slab.go.
+// The slab file is the one audited place where raw memory is carved
+// into typed sections (with the alignment and lifetime reasoning
+// documented next to it); every other file that wants an unsafe.Slice
+// must go through slab.go's typed helpers instead, so the audit
+// surface never silently grows.
+var UnsafeConfine = &Analyzer{
+	Name: "unsafeconfine",
+	Doc:  "restrict unsafe imports to internal/core/slab.go",
+	Run:  runUnsafeConfine,
+}
+
+// unsafeAllowed is the suffix-matched allowlist of files that may
+// import unsafe.
+var unsafeAllowed = []string{
+	filepath.Join("internal", "core", "slab.go"),
+}
+
+func runUnsafeConfine(pass *Pass) {
+	for _, f := range pass.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		allowed := false
+		for _, suffix := range unsafeAllowed {
+			if strings.HasSuffix(filename, suffix) {
+				allowed = true
+			}
+		}
+		if allowed {
+			continue
+		}
+		for _, imp := range f.Imports {
+			if imp.Path.Value == `"unsafe"` {
+				pass.Reportf(imp.Pos(), "unsafe may only be imported by internal/core/slab.go; use its typed section helpers")
+			}
+		}
+	}
+}

@@ -99,6 +99,8 @@ func DeploymentDelta(prev, next *Deployment) (added, removed []asgraph.AS) {
 // graph's edge volume — by default), RunDelta falls back to the
 // from-scratch run. Like Run, the returned Outcome is owned by the
 // engine and valid until the next run.
+//
+//sbgp:hotpath
 func (e *Engine) RunDelta(prev *Outcome, added, removed []asgraph.AS, dep *Deployment, atk Attack) *Outcome {
 	n := e.g.N()
 	if len(prev.Class) != n {

@@ -235,6 +235,8 @@ func (e *Engine) RunNormal(d asgraph.AS, dep *Deployment) *Outcome {
 // "m, d" announcement — and the ASes in dep are secure. Pass
 // m = asgraph.None for normal conditions. The returned Outcome is owned
 // by the engine and valid until the next Run.
+//
+//sbgp:hotpath
 func (e *Engine) Run(d, m asgraph.AS, dep *Deployment) *Outcome {
 	return e.RunAttack(d, m, dep, nil)
 }
@@ -242,7 +244,12 @@ func (e *Engine) Run(d, m asgraph.AS, dep *Deployment) *Outcome {
 // RunAttack is Run with a pluggable threat model: atk seeds the run's
 // route originations (nil means DefaultAttack, the one-hop hijack), and
 // the stage schedule then fixes every other AS identically for all
-// strategies.
+// strategies. It is the sweep's innermost call: //sbgp:hotpath marks it
+// (and the other per-cell bodies) for the hotalloc analyzer, which
+// rejects any construct that would allocate per run and break the
+// AllocsPerRun == 0 tests.
+//
+//sbgp:hotpath
 func (e *Engine) RunAttack(d, m asgraph.AS, dep *Deployment, atk Attack) *Outcome {
 	if d == m {
 		panic("core: attacker equals destination")

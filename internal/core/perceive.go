@@ -1,8 +1,6 @@
 package core
 
 import (
-	"unsafe"
-
 	"sbgp/internal/asgraph"
 	"sbgp/internal/policy"
 )
@@ -163,12 +161,12 @@ func (p *Partitioner) attachScratch(n int) {
 	}
 	s := newSlab((len(p.part.Cat) + 4) * alignUp(n))
 	for i := range p.part.Cat {
-		p.part.Cat[i] = unsafe.Slice((*Category)(s.section(n)), n)
+		p.part.Cat[i] = sectionOf[Category](s, n)
 	}
-	p.mask2 = unsafe.Slice((*uint8)(s.section(n)), n)
-	p.dReach = unsafe.Slice((*bool)(s.section(n)), n)
-	p.mReach = unsafe.Slice((*bool)(s.section(n)), n)
-	p.up = unsafe.Slice((*bool)(s.section(n)), n)
+	p.mask2 = sectionOf[uint8](s, n)
+	p.dReach = sectionOf[bool](s, n)
+	p.mReach = sectionOf[bool](s, n)
+	p.up = sectionOf[bool](s, n)
 }
 
 // Run computes the partition for attacker m and destination d. The

@@ -58,6 +58,16 @@ func (s *slab) section(bytes int) unsafe.Pointer {
 	return p
 }
 
+// sectionOf carves the next cache-line-aligned n-element section of T
+// out of s. It is the only sanctioned way to mint a typed slice from
+// slab memory: every other file stays free of unsafe — an invariant
+// sbgplint's unsafeconfine analyzer enforces mechanically — so the
+// audit surface for raw-memory reasoning never grows past this file.
+func sectionOf[T any](s *slab, n int) []T {
+	var zero T
+	return unsafe.Slice((*T)(s.section(n*int(unsafe.Sizeof(zero)))), n)
+}
+
 // attachSlab points o's five parallel per-AS arrays into a single fresh
 // backing allocation (zeroed, which is *not* the cleared no-route state:
 // Class's zero value is ClassCustomer and an unrouted Next is
@@ -68,11 +78,11 @@ func (o *Outcome) attachSlab(n int) {
 		return
 	}
 	s := newSlab(2*alignUp(4*n) + 3*alignUp(n))
-	o.Len = unsafe.Slice((*int32)(s.section(4*n)), n)
-	o.Next = unsafe.Slice((*asgraph.AS)(s.section(4*n)), n)
-	o.Class = unsafe.Slice((*policy.Class)(s.section(n)), n)
-	o.Secure = unsafe.Slice((*bool)(s.section(n)), n)
-	o.Label = unsafe.Slice((*Label)(s.section(n)), n)
+	o.Len = sectionOf[int32](s, n)
+	o.Next = sectionOf[asgraph.AS](s, n)
+	o.Class = sectionOf[policy.Class](s, n)
+	o.Secure = sectionOf[bool](s, n)
+	o.Label = sectionOf[Label](s, n)
 }
 
 // attachScratch backs the engine's per-run stage scratch — the offer
@@ -88,8 +98,8 @@ func (e *Engine) attachScratch(n int) {
 	}
 	accBytes := n * int(unsafe.Sizeof(offerAcc{}))
 	s := newSlab(alignUp(accBytes) + alignUp(n))
-	e.off = unsafe.Slice((*offerAcc)(s.section(accBytes)), n)
-	e.inTouch = unsafe.Slice((*bool)(s.section(n)), n)
+	e.off = sectionOf[offerAcc](s, n)
+	e.inTouch = sectionOf[bool](s, n)
 }
 
 // attachDeltaScratch backs the incremental-run scratch — the dirty-set
@@ -103,7 +113,7 @@ func (e *Engine) attachDeltaScratch(n int) {
 		return
 	}
 	s := newSlab(alignUp(4*n) + 2*alignUp(n))
-	e.deg = unsafe.Slice((*int32)(s.section(4*n)), n)
-	e.inDirty = unsafe.Slice((*bool)(s.section(n)), n)
-	e.reachState = unsafe.Slice((*uint8)(s.section(n)), n)
+	e.deg = sectionOf[int32](s, n)
+	e.inDirty = sectionOf[bool](s, n)
+	e.reachState = sectionOf[uint8](s, n)
 }

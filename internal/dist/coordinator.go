@@ -139,6 +139,24 @@ type activeJob struct {
 	failed    error
 	finished  bool
 	done      chan struct{} // closed once finished or failed
+
+	// ingestMu serializes Submit's ingestion (checkpoint append + sink)
+	// so it can run *outside* the protocol mutex: the append fsyncs and
+	// the sink is arbitrary caller code, and holding c.mu across either
+	// would stall every lease, heartbeat, and stats call behind the
+	// disk. Lock order: ingestMu before c.mu, never the reverse.
+	ingestMu sync.Mutex
+}
+
+// drainIngest waits out any Submit that was already past the protocol
+// check when the job was torn down. Once it returns — uninstall must
+// have run first — no ingestion is in flight and none can start, so
+// the checkpoint can be closed and the sink's owner can move on.
+func (aj *activeJob) drainIngest() {
+	aj.ingestMu.Lock()
+	// Empty critical section on purpose: acquiring the mutex is the
+	// barrier; any in-flight ingestion has finished once it is ours.
+	aj.ingestMu.Unlock()
 }
 
 // Stats are the coordinator's cumulative protocol counters.
@@ -238,6 +256,7 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*sbgp.Result, error) {
 	select {
 	case <-ctx.Done():
 		c.uninstall(aj)
+		aj.drainIngest()
 		cw.Close()
 		return nil, ctx.Err()
 	case <-aj.done:
@@ -246,6 +265,7 @@ func (c *Coordinator) Run(ctx context.Context, job Job) (*sbgp.Result, error) {
 	failed := aj.failed
 	c.mu.Unlock()
 	c.uninstall(aj)
+	aj.drainIngest()
 	if cerr := cw.Close(); failed == nil && cerr != nil {
 		failed = cerr
 	}
@@ -289,6 +309,7 @@ func (c *Coordinator) activeLocked(fingerprint string) (*activeJob, error) {
 // pruneLocked expires leases whose heartbeat deadline passed.
 func (c *Coordinator) pruneLocked(aj *activeJob) {
 	now := c.now()
+	//sbgplint:ordered expiry is a pure set filter; visit order never reaches output
 	for id, l := range aj.leases {
 		if now.After(l.expires) {
 			delete(aj.leases, id)
@@ -394,6 +415,7 @@ func (c *Coordinator) nextRangeLocked(aj *activeJob) (sbgp.ShardRange, bool) {
 			covered[s] = true
 		}
 	}
+	//sbgplint:ordered lease ranges OR into a dense covered bitmap; commutative
 	for _, l := range aj.leases {
 		for s := l.r.Start; s < l.r.End && s < shards; s++ {
 			covered[s] = true
@@ -481,11 +503,17 @@ func (c *Coordinator) Offer(fingerprint string, shards []int) (want []int, err e
 // leases, or coordinator restarts are all safe. A malformed partial
 // rejects the batch without harming the job; a checkpoint append
 // failure (durability gone) fails the job.
+//
+// Ingestion runs under the job's dedicated ingest mutex, not the
+// protocol mutex: the checkpoint append fsyncs, and with c.mu held
+// across it one slow disk would stall every lease, heartbeat, and
+// stats call. c.mu is only taken before (protocol checks) and after
+// (counters, lease retirement, completion).
 func (c *Coordinator) Submit(worker, fingerprint string, partials []*sbgp.ShardPartial) (accepted, duplicates int, err error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	aj, err := c.activeLocked(fingerprint)
 	if err != nil {
+		c.mu.Unlock()
 		return 0, 0, err
 	}
 	if aj.finished {
@@ -493,6 +521,7 @@ func (c *Coordinator) Submit(worker, fingerprint string, partials []*sbgp.ShardP
 		// duplicate from the protocol's point of view — and the stats
 		// counter must agree with the answer the worker gets.
 		c.stats.Duplicates += len(partials)
+		c.mu.Unlock()
 		return 0, len(partials), nil
 	}
 	// A batch can arrive after its lease expired (and after the range
@@ -501,32 +530,62 @@ func (c *Coordinator) Submit(worker, fingerprint string, partials []*sbgp.ShardP
 	// expired lease as if it were live — the partials still ingest
 	// idempotently, but LeasesExpired and ActiveLeases stay honest.
 	c.pruneLocked(aj)
+	c.mu.Unlock()
+
+	aj.ingestMu.Lock()
+	// Re-check now that ingestion is exclusively ours: the job may have
+	// finished or been torn down while this call waited. drainIngest's
+	// barrier guarantees teardown strictly precedes this check, so a
+	// stale batch can never touch a closed checkpoint or a sink whose
+	// owner has moved on.
+	c.mu.Lock()
+	stale := aj.finished || c.job != aj
+	if stale {
+		c.stats.Duplicates += len(partials)
+	}
+	c.mu.Unlock()
+	if stale {
+		aj.ingestMu.Unlock()
+		return 0, len(partials), nil
+	}
+	var failure error // checkpoint or sink failure: fails the job
+	var badBatch error
 	for _, p := range partials {
 		if verr := aj.job.Layout.ValidatePartial(p); verr != nil {
-			c.stats.Rejected++
-			return accepted, duplicates, verr
+			badBatch = verr
+			break
 		}
+		//sbgplint:allow lockblock ingestMu is the dedicated append serializer, not the protocol mutex; holding it here is the design
 		added, aerr := aj.cw.Add(p)
 		if aerr != nil {
-			aj.failLocked(fmt.Errorf("dist: checkpoint append: %w", aerr))
-			return accepted, duplicates, aerr
+			failure = fmt.Errorf("dist: checkpoint append: %w", aerr)
+			break
 		}
 		if !added {
 			duplicates++
-			c.stats.Duplicates++
 			continue
 		}
 		accepted++
-		c.stats.ShardsAccepted++
 		if aj.job.Sink != nil {
 			if serr := aj.job.Sink(p); serr != nil {
-				aj.failLocked(serr)
-				return accepted, duplicates, serr
+				failure = serr
+				break
 			}
 		}
 	}
+	aj.ingestMu.Unlock()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.ShardsAccepted += accepted
+	c.stats.Duplicates += duplicates
+	if failure != nil {
+		aj.failLocked(failure)
+		return accepted, duplicates, failure
+	}
 	// Retire leases whose range is now fully ingested, so their shards
 	// never block nextRangeLocked and Stats reflects live claims only.
+	//sbgplint:ordered retirement deletes each fully-ingested lease independently
 	for id, l := range aj.leases {
 		done := true
 		for s := l.r.Start; s < l.r.End; s++ {
@@ -539,11 +598,15 @@ func (c *Coordinator) Submit(worker, fingerprint string, partials []*sbgp.ShardP
 			delete(aj.leases, id)
 		}
 	}
-	if aj.cw.Complete() {
+	if aj.cw.Complete() && !aj.finished {
 		aj.finished = true
 		close(aj.done)
 	}
 	c.notifyLocked()
+	if badBatch != nil {
+		c.stats.Rejected++
+		return accepted, duplicates, badBatch
+	}
 	return accepted, duplicates, nil
 }
 
@@ -567,10 +630,13 @@ func (c *Coordinator) Stats() Stats {
 // Subscribe registers a coalescing wakeup channel that fires on every
 // ingestion change and job transition (and once immediately).
 func (c *Coordinator) Subscribe() (wake <-chan struct{}, unsubscribe func()) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// The initial wakeup goes into the buffered channel before it is
+	// registered — and before the lock: the send can never block (the
+	// channel is fresh with capacity 1), and no send happens under c.mu.
 	ch := make(chan struct{}, 1)
 	ch <- struct{}{}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.subs[ch] = true
 	return ch, func() {
 		c.mu.Lock()
@@ -582,6 +648,7 @@ func (c *Coordinator) Subscribe() (wake <-chan struct{}, unsubscribe func()) {
 // notifyLocked wakes every subscriber (caller holds mu); sends
 // coalesce so a slow subscriber never blocks the protocol.
 func (c *Coordinator) notifyLocked() {
+	//sbgplint:ordered coalescing wakeups; receivers learn only that something changed
 	for ch := range c.subs {
 		select {
 		case ch <- struct{}{}:

@@ -255,6 +255,7 @@ func (w *Worker) serve(ctx context.Context, ev Evaluator, fingerprint string) er
 		// Reconciliation step 1: drop held shards the coordinator
 		// already advertises — somebody else (or an earlier send whose
 		// ack we lost) delivered them.
+		//sbgplint:ordered deletion plus a counter bump per shard; order-free (ship sorts before offering)
 		for s := range held {
 			for _, hr := range grant.Have {
 				if s >= hr.Start && s < hr.End {

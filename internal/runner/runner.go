@@ -200,6 +200,8 @@ const chunkTarget = 8
 // on cancellation the caller's partial results must be discarded. A nil
 // ctx means context.Background() (never cancelled); the error is then
 // always nil.
+//
+//sbgp:hotpath
 func ForEach[T any](ctx context.Context, n, workers int, newState func() T, fn func(state T, di int)) error {
 	if ctx == nil {
 		ctx = context.Background()

@@ -438,14 +438,17 @@ func (s *Server) subscribers(id string) int {
 // immediately, so the subscriber always sees the current state).
 // unsubscribe must be called when done.
 func (s *Server) Subscribe(id string) (wake <-chan struct{}, unsubscribe func(), ok bool) {
+	// The initial wakeup goes into the buffered channel before it is
+	// registered — and before the lock: the send can never block (the
+	// channel is fresh with capacity 1), and no send happens under s.mu.
+	ch := make(chan struct{}, 1)
+	ch <- struct{}{} // initial snapshot
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	j, found := s.jobs[id]
 	if !found {
 		return nil, nil, false
 	}
-	ch := make(chan struct{}, 1)
-	ch <- struct{}{} // initial snapshot
 	j.subs[ch] = true
 	return ch, func() {
 		s.mu.Lock()

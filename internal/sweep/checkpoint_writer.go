@@ -71,7 +71,11 @@ func (w *CheckpointWriter) Layout() Layout {
 // (false, err) if the partial fails validation against the layout or
 // the durable append fails. Validation failure leaves the writer
 // unchanged and usable; an append failure means durability is gone and
-// the writer should be abandoned.
+// the writer should be abandoned. Add fsyncs on the durable path, so it
+// is declared //sbgp:blocking: the lockblock analyzer flags any caller
+// in service or dist that invokes it while holding a mutex.
+//
+//sbgp:blocking
 func (w *CheckpointWriter) Add(p *ShardPartial) (bool, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()

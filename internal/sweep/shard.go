@@ -206,6 +206,8 @@ func (a *shardAcc) begin(tasks int) {
 }
 
 // add folds one cell's exact bounds into its task slot.
+//
+//sbgp:hotpath
 func (a *shardAcc) add(ti, lo, hi int) {
 	if a.stamp[ti] != a.cur {
 		a.stamp[ti] = a.cur
@@ -226,6 +228,8 @@ func (a *shardAcc) add(ti, lo, hi int) {
 // must pass reuse = false for a freshly allocated one. It reports
 // ok = false if ctx was cancelled, in which case the (incomplete)
 // partial must be discarded.
+//
+//sbgp:hotpath
 func (gr *Grid) evaluateShardPartial(ctx context.Context, g *asgraph.Graph, ws *workerState, sched *schedule, c *carry, shard, start, end int, reuse bool) (p *ShardPartial, ok bool) {
 	a := &ws.acc
 	a.begin(sched.ax.tasks)
@@ -238,6 +242,7 @@ func (gr *Grid) evaluateShardPartial(ctx context.Context, g *asgraph.Graph, ws *
 		p = &ws.partial
 		p.Tasks, p.Lo, p.Hi, p.Pairs = p.Tasks[:0], p.Lo[:0], p.Hi[:0], p.Pairs[:0]
 	} else {
+		//sbgplint:allow hotalloc cold branch by contract: reuse=false is the retain-past-commit path and must allocate
 		p = &ShardPartial{
 			Tasks: make([]int, 0, n),
 			Lo:    make([]int, 0, n),
