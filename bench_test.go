@@ -592,6 +592,57 @@ func BenchmarkCrossShardChain(b *testing.B) {
 	}
 }
 
+// BenchmarkIncomparableAxis measures the signed-delta forest planner's
+// headline case: a deployment axis of pairwise-incomparable scenarios
+// (sliding windows over the non-stubs, each sharing half its members
+// with the next — the EarlyAdopters/Fig-8 shape) at the paper's default
+// 4000-AS scale. The nested planner sees no chains here and re-runs
+// every scenario from scratch; the forest links neighboring windows
+// with remove-then-add deltas whose volume is far below a full run.
+// Results are byte-identical across the two modes.
+func BenchmarkIncomparableAxis(b *testing.B) {
+	g, _ := topogen.MustGenerate(topogen.Params{N: 4000, Seed: 1})
+	nonStubs := asgraph.NonStubs(g)
+	deployments := []sweep.Deployment{{Name: "baseline"}}
+	for i := 0; i < 12; i++ {
+		// Mid-list non-stubs: real transit ASes whose security status
+		// still matters, but not the top hubs, whose every membership
+		// change would dirty most of the routing state and mask the
+		// scheduling effect being measured.
+		lo := 300 + i*8
+		win := asgraph.SetOf(g.N(), nonStubs[lo:lo+24]...)
+		deployments = append(deployments, sweep.Deployment{
+			Name: fmt.Sprintf("win%d", i),
+			Dep:  &core.Deployment{Full: win},
+		})
+	}
+	M, D := runner.SamplePairs(nonStubs, runner.AllASes(g.N()), 4, 4)
+	for _, mode := range []struct {
+		name        string
+		incremental sweep.IncrementalMode
+	}{
+		{"from-scratch", sweep.IncrementalOff},
+		{"forest", sweep.IncrementalAuto},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			grid := &sweep.Grid{
+				Deployments:  deployments,
+				Attackers:    M,
+				Destinations: D,
+				Incremental:  mode.incremental,
+				Workers:      1,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := grid.MustEvaluate(g)
+				if len(res.Cells) != len(deployments)*policy.NumModels {
+					b.Fatalf("grid has %d cells", len(res.Cells))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationParallelism compares the harness at 1 worker vs all
 // cores on the benchmark workload.
 func BenchmarkAblationParallelism(b *testing.B) {

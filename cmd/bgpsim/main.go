@@ -77,12 +77,14 @@ func main() {
 		"with -sweep: delta scheduling mode, -incremental=auto|on|off (default auto reuses fixed points across nested deployments; bare -incremental means on; identical results)")
 	jobPath := flag.String("job", "",
 		"evaluate the sweep-grid job described by this JobSpec JSON file and print the grid (replaces the deprecated -sweep grid flags)")
+	verbose := flag.Bool("v", false,
+		"with -sweep or -job: print scheduler planner and handoff stats to stderr")
 	flag.Parse()
 
 	if *jobPath != "" {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "job", "workers":
+			case "job", "workers", "v":
 			default:
 				log.Fatalf("-%s is part of the deprecated flag spelling and conflicts with -job (put it in the spec file)", f.Name)
 			}
@@ -94,7 +96,7 @@ func main() {
 		if *workers != 0 {
 			spec.Workers = *workers
 		}
-		if err := printGrid(spec); err != nil {
+		if err := printGrid(spec, *verbose); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -139,7 +141,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := printGrid(spec); err != nil {
+		if err := printGrid(spec, *verbose); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -241,8 +243,10 @@ func legacySweepSpec(graph string, n int, seed int64, lpk int, deployName, attac
 
 // printGrid evaluates a job through the one shared path (the same
 // FromJobSpec → Simulate → EvaluateJob pipeline the daemon uses) and
-// prints the result grid as JSON.
-func printGrid(spec *sbgp.JobSpec) error {
+// prints the result grid as JSON. With verbose set, the scheduler's
+// planner and handoff stats go to stderr — stdout stays byte-identical
+// grid JSON either way.
+func printGrid(spec *sbgp.JobSpec, verbose bool) error {
 	sc, err := sbgp.FromJobSpec(spec)
 	if err != nil {
 		return err
@@ -251,9 +255,16 @@ func printGrid(spec *sbgp.JobSpec) error {
 	if err != nil {
 		return err
 	}
-	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{})
+	var stats sbgp.ShardStats
+	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{Stats: &stats})
 	if err != nil {
 		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr,
+			"bgpsim: schedule: %d chain heads, %d delta edges, predicted volume %d; dispatch: %d units, handoff %d hits / %d misses\n",
+			stats.ChainHeads, stats.DeltaEdges, stats.PredictedVolume,
+			stats.Units, stats.HandoffHits, stats.HandoffMisses)
 	}
 	return res.WriteJSON(os.Stdout)
 }

@@ -35,12 +35,16 @@
 // survives interruption: rerun with -resume and the completed shards
 // are skipped, with byte-identical output.
 //
-// Delta evaluation is on by default (-incremental=auto): nested
+// Delta evaluation is on by default (-incremental=auto): the planner
+// covers the deployment axis with signed-delta walks — nested
 // deployments (the rollout sequences) reuse the previous step's fixed
-// point via Engine.RunDelta instead of recomputing every destination
-// from scratch, and grids whose deployment axes don't nest fall back
-// to the legacy schedule automatically. Output is byte-identical in
-// every mode; -incremental=off forces the from-scratch order.
+// point via Engine.RunDelta, and incomparable deployments (the
+// early-adopter scenarios) are linked by remove-then-add deltas through
+// a minimum-cost forest instead of each re-running from scratch. Only
+// axes with no linkable pair fall back to the legacy schedule. Output
+// is byte-identical in every mode; -incremental=off forces the
+// from-scratch order. -v prints the planner and handoff stats of grid
+// evaluations to stderr.
 package main
 
 import (
@@ -78,6 +82,8 @@ func main() {
 		"delta scheduling mode, -incremental=auto|on|off (default auto reuses each deployment's fixed point across nested deployments; bare -incremental means on; identical results)")
 	jobPath := flag.String("job", "",
 		"run the sweep-grid job described by this JobSpec JSON file and write the grid to -json (replaces the deprecated grid flags)")
+	verbose := flag.Bool("v", false,
+		"print scheduler planner and handoff stats of grid evaluations to stderr")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -87,7 +93,7 @@ func main() {
 	if *jobPath != "" {
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "job", "json", "workers":
+			case "job", "json", "workers", "v":
 			default:
 				fail(fmt.Errorf("-%s is part of the deprecated flag spelling and conflicts with -job (put it in the spec file)", f.Name))
 			}
@@ -102,7 +108,7 @@ func main() {
 		if *workers != 0 {
 			spec.Workers = *workers
 		}
-		if err := writeGrid(spec, *jsonPath); err != nil {
+		if err := writeGrid(spec, *jsonPath, *verbose); err != nil {
 			fail(err)
 		}
 		return
@@ -146,7 +152,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		if err := writeGrid(spec, *jsonPath); err != nil {
+		if err := writeGrid(spec, *jsonPath, *verbose); err != nil {
 			fail(err)
 		}
 	}
@@ -173,8 +179,10 @@ func headlineSpec(cfg sbgp.ExperimentConfig, attack string, mode sbgp.Incrementa
 
 // writeGrid evaluates a job through the one shared path (the same
 // FromJobSpec → Simulate → EvaluateJob pipeline the daemon uses) and
-// writes the result grid to path.
-func writeGrid(spec *sbgp.JobSpec, path string) error {
+// writes the result grid to path. With verbose set, the scheduler's
+// planner and handoff stats go to stderr — the grid file stays
+// byte-identical either way.
+func writeGrid(spec *sbgp.JobSpec, path string, verbose bool) error {
 	sc, err := sbgp.FromJobSpec(spec)
 	if err != nil {
 		return err
@@ -183,9 +191,16 @@ func writeGrid(spec *sbgp.JobSpec, path string) error {
 	if err != nil {
 		return err
 	}
-	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{})
+	var stats sbgp.ShardStats
+	res, err := sim.EvaluateJob(sbgp.JobEvalOptions{Stats: &stats})
 	if err != nil {
 		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr,
+			"experiments: schedule: %d chain heads, %d delta edges, predicted volume %d; dispatch: %d units, handoff %d hits / %d misses\n",
+			stats.ChainHeads, stats.DeltaEdges, stats.PredictedVolume,
+			stats.Units, stats.HandoffHits, stats.HandoffMisses)
 	}
 	f, err := os.Create(path)
 	if err != nil {

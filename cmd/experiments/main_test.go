@@ -65,7 +65,7 @@ func TestWriteGridMatchesWorkloadGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "grid.json")
-	if err := writeGrid(spec, path); err != nil {
+	if err := writeGrid(spec, path, false); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(path)
@@ -97,7 +97,7 @@ func TestWriteGridMatchesWorkloadGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 	path2 := filepath.Join(t.TempDir(), "grid2.json")
-	if err := writeGrid(loaded, path2); err != nil {
+	if err := writeGrid(loaded, path2, false); err != nil {
 		t.Fatal(err)
 	}
 	got2, err := os.ReadFile(path2)

@@ -122,6 +122,35 @@ func (s *Set) MembersNotIn(t *Set) []AS {
 	return out
 }
 
+// DiffVolume returns the summed Degree over the members of s \ t that
+// belong to neither x1 nor x2; any of the sets may be nil. It is the
+// allocation-free building block of core's deployment delta-volume
+// probe — the sweep planner calls it O(k²) times per grid, so it must
+// not materialize member slices.
+func (g *Graph) DiffVolume(s, t, x1, x2 *Set) int64 {
+	if s == nil {
+		return 0
+	}
+	var vol int64
+	for wi, w := range s.words {
+		if t != nil && wi < len(t.words) {
+			w &^= t.words[wi]
+		}
+		if x1 != nil && wi < len(x1.words) {
+			w &^= x1.words[wi]
+		}
+		if x2 != nil && wi < len(x2.words) {
+			w &^= x2.words[wi]
+		}
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			vol += int64(g.Degree(AS(wi*64 + b)))
+			w &= w - 1
+		}
+	}
+	return vol
+}
+
 // ContainsAll reports whether every member of t is also in s.
 func (s *Set) ContainsAll(t *Set) bool {
 	if t == nil {

@@ -255,6 +255,57 @@ func (e *Engine) RunDelta(prev *Outcome, added, removed []asgraph.AS, dep *Deplo
 	}
 }
 
+// GraphVolume returns the total adjacency edge-volume of g: the summed
+// degree of every AS across all three edge kinds (each link counted
+// from both ends). It is the denominator of the delta-threshold
+// fallback (overDeltaThreshold) and the unit in which the sweep
+// planner calibrates a from-scratch run.
+func GraphVolume(g *asgraph.Graph) int64 {
+	var vol int64
+	for v := 0; v < g.N(); v++ {
+		vol += int64(g.Degree(asgraph.AS(v)))
+	}
+	return vol
+}
+
+// DeltaVolume returns the adjacency edge-volume of a signed deployment
+// delta: the summed degree of the ASes in added and removed — the same
+// quantity overDeltaThreshold measures for RunDelta's initial dirty
+// set, before neighbor closure. It is a cheap, engine-free probe of
+// how much stage work a RunDelta between two deployments would seed;
+// the sweep planner uses it as the edge-cost model of its signed-delta
+// forest. No engine semantics depend on it.
+func DeltaVolume(g *asgraph.Graph, added, removed []asgraph.AS) int64 {
+	var vol int64
+	for _, v := range added {
+		vol += int64(g.Degree(v))
+	}
+	for _, v := range removed {
+		vol += int64(g.Degree(v))
+	}
+	return vol
+}
+
+// DeploymentDeltaVolume is DeltaVolume over the delta DeploymentDelta
+// would return, computed without materializing the member lists: the
+// four terms mirror DeploymentDelta's four cases (Full joins, Full
+// leaves, and the origin-secure-union joins and leaves outside both
+// Full sets). The sweep planner probes every candidate deployment pair
+// with it — O(k²) per grid — so it must stay allocation-free.
+func DeploymentDeltaVolume(g *asgraph.Graph, prev, next *Deployment) int64 {
+	var pf, ps, nf, ns *asgraph.Set
+	if prev != nil {
+		pf, ps = prev.Full, prev.Simplex
+	}
+	if next != nil {
+		nf, ns = next.Full, next.Simplex
+	}
+	return g.DiffVolume(nf, pf, nil, nil) +
+		g.DiffVolume(pf, nf, nil, nil) +
+		g.DiffVolume(ns, ps, pf, nf) +
+		g.DiffVolume(ps, ns, pf, nf)
+}
+
 // overDeltaThreshold reports whether the dirty region has grown past
 // the adaptive fallback bound. The default bound is edge-volume based —
 // the summed degree of the dirty ASes against deltaFrac of the graph's

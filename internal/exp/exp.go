@@ -465,6 +465,14 @@ func (w *Workload) Phenomena(lp policy.LocalPref) rootcause.Phenomena {
 
 // EarlyAdopters computes E14 (Section 5.3.1): the average per-secure-
 // destination improvement for the competing early-adopter choices.
+// Each scenario runs as its own {without, with} grid on its own
+// secure-destination sample, routed through the incremental scheduler
+// like every metric grid. Fusing the three scenarios into one grid
+// over the union of their samples was tried and rejected: the samples
+// barely overlap, so the fused grid evaluates every scenario against
+// every other scenario's destinations — roughly twice the cells — and
+// the signed-delta links between the scenario deployments cannot buy
+// that back (measured ~1.5× slower end to end).
 func (w *Workload) EarlyAdopters(lp policy.LocalPref) []EarlyAdopterResult {
 	scenarios := []struct {
 		name string

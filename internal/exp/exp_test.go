@@ -142,6 +142,40 @@ func TestEarlyAdoptersTier2BeatsTier1ForSec23(t *testing.T) {
 	}
 }
 
+// TestEarlyAdoptersMatchesPerScenario pins E14's output to an
+// independent per-scenario recomputation through SecureDestDeltas.
+// Today EarlyAdopters *is* spelled per-scenario (a fused union-grid
+// variant was tried and rejected — see the function's doc comment), so
+// this is a shape/value pin; if a future PR re-attempts fusion, this
+// test is the bar it must clear bit-identically.
+func TestEarlyAdoptersMatchesPerScenario(t *testing.T) {
+	got := testW.EarlyAdopters(policy.Standard)
+	specs := map[string]deploy.Spec{
+		"Tier 1s + stubs":       {NumTier1: 13, IncludeStubs: true},
+		"Tier 1s + CPs + stubs": {NumTier1: 13, CPs: testW.Meta.CPs, IncludeStubs: true},
+		"13 Tier 2s + stubs":    {NumTier2: 13, IncludeStubs: true},
+	}
+	if len(got) != len(specs) {
+		t.Fatalf("EarlyAdopters returned %d rows, want %d", len(got), len(specs))
+	}
+	for _, r := range got {
+		spec, ok := specs[r.Name]
+		if !ok {
+			t.Fatalf("unexpected scenario %q", r.Name)
+		}
+		dep := deploy.Build(testW.G, testW.Tiers, spec)
+		if r.Secured != dep.SecureCount() {
+			t.Errorf("%s: secured %d, want %d", r.Name, r.Secured, dep.SecureCount())
+		}
+		deltas := testW.SecureDestDeltas(dep, policy.Standard)
+		for _, m := range policy.Models {
+			if want := MeanDelta(deltas[m]); r.MeanDelta[m] != want {
+				t.Errorf("%s %v: fused mean delta %v, per-scenario %v", r.Name, m, r.MeanDelta[m], want)
+			}
+		}
+	}
+}
+
 func TestCPFateShape(t *testing.T) {
 	cps, accs := testW.CPFate(policy.Sec3rd, policy.Standard)
 	if len(cps) != len(accs) || len(cps) == 0 {

@@ -132,14 +132,29 @@ func (s *Server) evaluate(ctx context.Context, j *job) error {
 	} else {
 		pk := poolKey{topo: key, lpk: spec.LPK}
 		pool := s.acquirePool(pk)
+		var stats sbgp.ShardStats
 		res, err = sim.EvaluateJob(sbgp.JobEvalOptions{
 			Checkpoint: s.CheckpointPath(id),
 			Resume:     true, // fresh checkpoint = fresh run; restart = resume
 			Pool:       pool,
 			Sink:       sink,
+			Stats:      &stats,
 		})
 		pool.Release()
 		s.releasePool(pk)
+		if err == nil {
+			// Fold this evaluation into the daemon totals (the planner
+			// fields are per-schedule values, so totals read as "summed
+			// over evaluations").
+			s.mu.Lock()
+			s.sweep.Units += stats.Units
+			s.sweep.HandoffHits += stats.HandoffHits
+			s.sweep.HandoffMisses += stats.HandoffMisses
+			s.sweep.ChainHeads += stats.ChainHeads
+			s.sweep.DeltaEdges += stats.DeltaEdges
+			s.sweep.PredictedVolume += stats.PredictedVolume
+			s.mu.Unlock()
+		}
 	}
 	if err != nil {
 		return err

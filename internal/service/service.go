@@ -191,6 +191,11 @@ type Server struct {
 	topos map[topoKey]*topoEntry
 	pools map[poolKey]*poolEntry
 
+	// sweep accumulates every locally evaluated job's planner and
+	// dispatch counters (distributed evaluations keep their stats on
+	// the workers). Guarded by mu; surfaced through Status.
+	sweep sbgp.ShardStats
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	runnerDone chan struct{}
@@ -399,19 +404,24 @@ func (s *Server) CheckpointPath(id string) string {
 	return filepath.Join(s.dir, "checkpoints", id+".ckpt")
 }
 
-// Status summarizes the daemon for the status endpoint.
+// Status summarizes the daemon for the status endpoint. Sweep totals
+// the planner and dispatch counters of every job evaluated locally
+// since the daemon started: dispatch units, cross-shard handoff
+// hits/misses, and the schedule planner's chain heads, delta edges,
+// and predicted edge-volume summed across evaluations.
 type Status struct {
-	Jobs        map[State]int `json:"jobs"`
-	Topologies  int           `json:"topologies"`
-	EnginePools int           `json:"engine_pools"`
-	WarmEngines int           `json:"warm_engines"`
+	Jobs        map[State]int   `json:"jobs"`
+	Topologies  int             `json:"topologies"`
+	EnginePools int             `json:"engine_pools"`
+	WarmEngines int             `json:"warm_engines"`
+	Sweep       sbgp.ShardStats `json:"sweep"`
 }
 
 // Stats returns the daemon summary.
 func (s *Server) Stats() *Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := &Status{Jobs: map[State]int{}, Topologies: len(s.topos), EnginePools: len(s.pools)}
+	st := &Status{Jobs: map[State]int{}, Topologies: len(s.topos), EnginePools: len(s.pools), Sweep: s.sweep}
 	for _, j := range s.jobs {
 		st.Jobs[j.State]++
 	}

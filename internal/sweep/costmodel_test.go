@@ -1,0 +1,44 @@
+package sweep
+
+// Regression pin for the cost model's propagation margin
+// (deltaCostFactor): on a realistic rollout-with-simplex-variants axis
+// the raw adjacency volume of the bridge between the full-step chain
+// and the simplex chain prices just under a from-scratch run, but the
+// actual RunDelta — dominated by removing transit hubs — is slower than
+// starting over. The planner must therefore keep the legacy two-chain
+// nested layout here; an earlier margin-free model picked the forest
+// bridge and made the Fig 7(a) experiment ~28% slower end to end.
+
+import (
+	"fmt"
+	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/deploy"
+	"sbgp/internal/topogen"
+)
+
+func TestRolloutWithSimplexVariantsStaysNested(t *testing.T) {
+	g, meta := topogen.MustGenerate(topogen.Params{N: 800, Seed: 1})
+	tiers := asgraph.Classify(g, meta.CPs, nil)
+	steps := deploy.Tier12Rollout(g, tiers, false)
+	deployments := []Deployment{{Name: "baseline"}}
+	for i, step := range steps {
+		sp := step.Spec
+		sp.SimplexStubs = true
+		deployments = append(deployments,
+			Deployment{Name: fmt.Sprintf("step%d", i), Dep: step.Deployment},
+			Deployment{Name: fmt.Sprintf("step%d+simplex", i), Dep: deploy.Build(g, tiers, sp)},
+		)
+	}
+	p := buildChainPlan(deployments, g)
+	if p.forest {
+		t.Fatalf("rollout-with-simplex axis planned as a forest (heads=%d predicted=%d); "+
+			"the hub-removal bridge between the chains is slower than its from-scratch head",
+			p.heads, p.predictedVol)
+	}
+	if p.heads != 2 {
+		t.Fatalf("nested cover has %d heads, want 2 (full-step chain + simplex chain)", p.heads)
+	}
+	checkChainPlanInvariants(t, deployments, p, g)
+}

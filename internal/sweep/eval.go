@@ -55,7 +55,7 @@ func (gr *Grid) NewEvaluation(g *asgraph.Graph) (*Evaluation, error) {
 		return nil, err
 	}
 	ev := &Evaluation{gr: *gr, g: g, ax: ax}
-	ev.sched = newSchedule(&ev.gr, ax)
+	ev.sched = newSchedule(&ev.gr, ax, g)
 	ev.acc = make([]destAcc, ax.tasks)
 	if ev.gr.Pool == nil {
 		// The Evaluation owns its engines outright: the states below keep

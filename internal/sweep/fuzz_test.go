@@ -2,7 +2,11 @@ package sweep
 
 import (
 	"encoding/json"
+	"fmt"
 	"testing"
+
+	"sbgp/internal/asgraph"
+	"sbgp/internal/core"
 )
 
 // FuzzCheckpointRecord throws arbitrary bytes at the checkpoint-line
@@ -68,6 +72,66 @@ func FuzzCheckpointRecord(f *testing.F) {
 			}
 		default:
 			t.Fatal("decode returned neither header nor shard without error")
+		}
+	})
+}
+
+// FuzzChainPlan throws arbitrary deployment axes — random member sets,
+// duplicates, empty deployments, simplex variants, nested prefixes and
+// incomparable windows alike — at both planners. Whatever plan
+// buildChainPlan selects must satisfy the full walk invariants
+// (checkChainPlanInvariants: every deployment in exactly one chain
+// position, exact signed walk-predecessor deltas, headless tree roots,
+// forest tree edges priced strictly below a from-scratch run), the
+// nested planner alone must still emit only grow-only chains, and the
+// selection must never price above the nested cover it competes with.
+func FuzzChainPlan(f *testing.F) {
+	// Each 7-byte chunk is one deployment: 6 bytes of Full membership
+	// bitmask over the 48-AS planner test graph, 1 byte of Simplex mask
+	// over ASes 40..47 (kept disjoint from Full).
+	f.Add([]byte{})                                                                    // empty axis
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0})                                                 // single baseline
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0})                            // nested pair
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 12, 0, 0, 0, 0, 0, 0})                           // incomparable pair
+	f.Add([]byte{5, 0, 0, 0, 0, 0, 1, 5, 0, 0, 0, 0, 0, 1})                            // duplicates with simplex
+	f.Add([]byte{255, 1, 0, 0, 0, 0, 0, 254, 3, 0, 0, 0, 0, 0, 252, 7, 0, 0, 0, 0, 0}) // sliding windows
+	g := planTestGraph(48)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const chunk = 7
+		ndeps := len(data) / chunk
+		if ndeps > 12 {
+			ndeps = 12
+		}
+		deps := make([]Deployment, 0, ndeps)
+		for i := 0; i < ndeps; i++ {
+			b := data[i*chunk : (i+1)*chunk]
+			full := asgraph.NewSet(g.N())
+			for bit := 0; bit < 48; bit++ {
+				if b[bit/8]&(1<<(bit%8)) != 0 {
+					full.Add(asgraph.AS(bit))
+				}
+			}
+			simplex := asgraph.NewSet(g.N())
+			for bit := 0; bit < 8; bit++ {
+				if v := asgraph.AS(40 + bit); b[6]&(1<<bit) != 0 && !full.Has(v) {
+					simplex.Add(v)
+				}
+			}
+			var dp *core.Deployment
+			if full.Len() > 0 || simplex.Len() > 0 {
+				dp = &core.Deployment{Full: full, Simplex: simplex}
+			}
+			deps = append(deps, Deployment{Name: fmt.Sprintf("d%d", i), Dep: dp})
+		}
+		picked := buildChainPlan(deps, g)
+		checkChainPlanInvariants(t, deps, picked, g)
+		nested := buildNestedChainPlan(deps)
+		checkChainPlanInvariants(t, deps, nested, g)
+		scratch := fromScratchCost(g)
+		nested.price(g, scratch)
+		if picked.predictedVol > nested.predictedVol {
+			t.Fatalf("selected plan prices at %d, above the nested cover's %d",
+				picked.predictedVol, nested.predictedVol)
 		}
 	})
 }

@@ -127,7 +127,7 @@ func (gr *Grid) PlanShards(g *asgraph.Graph, shardSize int) (*Layout, []ShardRan
 	if err != nil {
 		return nil, nil, err
 	}
-	sched := newSchedule(gr, ax)
+	sched := newSchedule(gr, ax, g)
 	size := shardSize
 	if size <= 0 {
 		size = DefaultShardSize
@@ -177,7 +177,7 @@ func (gr *Grid) EvaluateShardRange(ctx context.Context, g *asgraph.Graph, l *Lay
 	if err != nil {
 		return err
 	}
-	sched := newSchedule(gr, ax)
+	sched := newSchedule(gr, ax, g)
 	if err := l.check(gr.fingerprint(g, ax, sched), ax.cells, ax.tasks); err != nil {
 		return err
 	}
@@ -213,7 +213,7 @@ func (gr *Grid) MergePartials(g *asgraph.Graph, l *Layout, partials []*ShardPart
 	if err != nil {
 		return nil, err
 	}
-	sched := newSchedule(gr, ax)
+	sched := newSchedule(gr, ax, g)
 	if err := l.check(gr.fingerprint(g, ax, sched), ax.cells, ax.tasks); err != nil {
 		return nil, err
 	}
@@ -311,6 +311,12 @@ func (gr *Grid) evaluatePending(ctx context.Context, g *asgraph.Graph, ax *axes,
 		stats.Units += len(units)
 		stats.HandoffHits += handoffHits
 		stats.HandoffMisses += handoffMisses
+		// Planner fields describe the schedule itself, not this dispatch:
+		// assignment, not accumulation, so re-evaluating the same layout
+		// (resume, range leases) reports the same plan.
+		stats.ChainHeads = sched.planHeads
+		stats.DeltaEdges = sched.planDeltaEdges
+		stats.PredictedVolume = sched.planPredictedVol
 	}
 	if commitErr != nil {
 		return commitErr

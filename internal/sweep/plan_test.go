@@ -29,7 +29,7 @@ func TestPlanShardsUnits(t *testing.T) {
 		if l.Cells != ax.cells || l.Tasks != ax.tasks || l.ShardSize != size || l.Shards != numShards(ax.cells, size) {
 			t.Fatalf("size %d: layout %+v inconsistent with grid (cells=%d tasks=%d)", size, l, ax.cells, ax.tasks)
 		}
-		sched := newSchedule(gr, ax)
+		sched := newSchedule(gr, ax, g)
 		next := 0
 		for _, u := range units {
 			if u.Start != next || u.End <= u.Start {

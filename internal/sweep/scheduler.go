@@ -9,15 +9,17 @@ package sweep
 //
 //   - A schedule is a permutation of the flattened (deployment × model
 //     × destination × attacker) cell space. Incremental grids order it
-//     chain-major: chains outermost, then (model, destination,
+//     chain-major: chains — nested chains or linearized signed-delta
+//     forest trees (chain.go) — outermost, then (model, destination,
 //     attacker) groups, then chain position — so the cells a RunDelta
-//     chain visits are *contiguous*. Shards are cut on the scheduled
-//     order, which means a chain now straddles at most one boundary per
+//     walk visits are *contiguous*. Shards are cut on the scheduled
+//     order, which means a walk now straddles at most one boundary per
 //     shard instead of scattering one cell into every shard.
 //   - Non-incremental grids (and incremental grids whose deployment
-//     axis yields no chain longer than one — incomparable axes degrade
-//     here) keep the identity schedule: the exact cell order, shard
-//     layout, and checkpoint fingerprint of the previous releases.
+//     axis the planner cannot link at all — a singleton axis, or one
+//     whose every pairwise delta costs at least a from-scratch run)
+//     keep the identity schedule: the exact cell order, shard layout,
+//     and checkpoint fingerprint of the previous releases.
 //   - evaluateRange walks any scheduled range, emitting one exact
 //     integer (task, lo, hi) triple per valid cell. Partials stay
 //     positional, so results remain byte-identical to the unscheduled
@@ -46,20 +48,35 @@ type schedule struct {
 	// blockStart[ci] is the scheduled offset of chain ci's block;
 	// blockStart[len(chains)] == ax.cells. Chain-major only.
 	blockStart []int
+
+	// Planner cost-model totals for one (model, destination, attacker)
+	// group walk, surfaced through ShardStats: from-scratch heads,
+	// RunDelta edges, and the predicted adjacency edge-volume. On the
+	// identity schedule every deployment is a head.
+	planHeads        int
+	planDeltaEdges   int
+	planPredictedVol int64
 }
 
-// newSchedule plans the grid's cell order: chain-major when the grid is
-// incremental (IncrementalAuto or IncrementalOn) and the deployment
-// axis actually chains, the identity order otherwise. The degradation
-// to identity is what keeps incomparable axes — and every
+// newSchedule plans the grid's cell order on g: chain-major when the
+// grid is incremental (IncrementalAuto or IncrementalOn) and the
+// planner links any two deployments by a delta — nested chains and
+// signed-delta forests alike (chain.go) — the identity order otherwise.
+// The degradation to identity is what keeps singleton axes — and every
 // non-incremental grid — on the exact pre-scheduler shard layout and
-// checkpoint fingerprint.
-func newSchedule(gr *Grid, ax *axes) *schedule {
-	s := &schedule{ax: ax}
+// checkpoint fingerprint. The graph feeds the planner's edge-volume
+// cost model; the plan is a deterministic function of (graph, grid), so
+// distributed workers recomputing it independently agree on the layout.
+func newSchedule(gr *Grid, ax *axes, g *asgraph.Graph) *schedule {
+	s := &schedule{ax: ax, planHeads: len(ax.deps)}
 	if !gr.Incremental.enabled() {
+		s.planPredictedVol = int64(s.planHeads) * fromScratchCost(g)
 		return s
 	}
-	plan := buildChainPlan(ax.deps)
+	plan := buildChainPlan(ax.deps, g)
+	s.planHeads = plan.heads
+	s.planDeltaEdges = plan.deltaEdges
+	s.planPredictedVol = plan.predictedVol
 	chained := false
 	for _, ch := range plan.chains {
 		if len(ch) > 1 {
@@ -181,9 +198,14 @@ func (c *carry) offer(pos int, o *core.Outcome) {
 // emit once per valid (attacker ≠ destination) cell with the cell's
 // task index and exact integer happy bounds. Cells are visited in
 // scheduled order; on a chain-major schedule each group run reuses the
-// previous step's fixed point via RunDelta (and the carry, when given,
-// bridges runs cut by the range boundary). It reports false if ctx was
-// cancelled, in which case the partial emission must be discarded.
+// previous step's fixed point via RunDelta — replaying the step's
+// removed-then-added signed delta in one call, so forest walks that
+// shrink a deployment ride the same path as grow-only chains — and the
+// carry, when given, bridges runs cut by the range boundary. It reports
+// false if ctx was cancelled, in which case the partial emission must
+// be discarded.
+//
+//sbgp:hotpath
 func (gr *Grid) evaluateRange(ctx context.Context, g *asgraph.Graph, ws *workerState, s *schedule, c *carry, start, end int, emit func(ti, lo, hi int)) bool {
 	ax := s.ax
 	if s.plan == nil {
@@ -260,7 +282,7 @@ func (gr *Grid) evaluateRange(ctx context.Context, g *asgraph.Graph, ws *workerS
 			if prev == nil {
 				prev = e.RunAttack(d, m, dep, gr.Attack)
 			} else {
-				prev = e.RunDelta(prev, ch[pos].added, nil, dep, gr.Attack)
+				prev = e.RunDelta(prev, step.added, step.removed, dep, gr.Attack)
 			}
 			lo, hi := e.HappyBounds()
 			emit((step.si*ax.nm+mi)*ax.nd+di, lo, hi)

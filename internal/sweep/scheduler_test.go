@@ -48,7 +48,7 @@ func TestScheduleShapes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := newSchedule(gr, ax)
+		s := newSchedule(gr, ax, g)
 		if wantIdentity := mode == IncrementalOff; s.identity() != wantIdentity {
 			t.Fatalf("mode %v: identity = %v, want %v", mode, s.identity(), wantIdentity)
 		}
@@ -184,8 +184,8 @@ func TestScheduleLayoutCheckpointCompat(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fpOff := offGr.fingerprint(g, axOff, newSchedule(offGr, axOff))
-		fpOn := onGr.fingerprint(g, axOn, newSchedule(onGr, axOn))
+		fpOff := offGr.fingerprint(g, axOff, newSchedule(offGr, axOff, g))
+		fpOn := onGr.fingerprint(g, axOn, newSchedule(onGr, axOn, g))
 		if fpOff != fpOn {
 			t.Errorf("chain-free axis fingerprints differ across modes (%s vs %s)", fpOff, fpOn)
 		}
@@ -284,7 +284,7 @@ func TestCrossShardHandoffEquivalence(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sched := newSchedule(gr, ax)
+		sched := newSchedule(gr, ax, g)
 		wantHits := expectedHandoffTakes(gr, ax, sched, size)
 		if wantHits == 0 {
 			t.Fatalf("shard size %d: test grid exercises no cross-shard handoffs", size)

@@ -54,22 +54,42 @@ type ShardOptions struct {
 	Stats *ShardStats
 }
 
-// ShardStats reports how a sharded evaluation was dispatched and how
-// often cross-shard chain handoff reused a fixed point instead of
-// re-running a chain head. With chain-ordered unit dispatch, a fresh
-// run (no resumed shards) has HandoffMisses == 0 by construction; a
-// resume can miss at unit starts whose predecessor shard completed in
-// an earlier run.
+// ShardStats reports how a sharded evaluation was planned and
+// dispatched, and how often cross-shard chain handoff reused a fixed
+// point instead of re-running a chain head. With chain-ordered unit
+// dispatch, a fresh run (no resumed shards) has HandoffMisses == 0 by
+// construction; a resume can miss at unit starts whose predecessor
+// shard completed in an earlier run. The dispatch and handoff counters
+// accumulate across evaluations sharing the struct; the planner fields
+// describe the schedule and are (re)set by each evaluation.
 type ShardStats struct {
 	// Units is the number of dispatch units the pending shards were cut
 	// into (see pendingUnits).
-	Units int
+	Units int `json:"units"`
 	// HandoffHits counts chain continuations that resumed from an
 	// offered tail fixed point via RunDelta.
-	HandoffHits int
+	HandoffHits int `json:"handoff_hits"`
 	// HandoffMisses counts chain continuations that re-ran their head
 	// from scratch because no fixed point had been offered yet.
-	HandoffMisses int
+	HandoffMisses int `json:"handoff_misses"`
+
+	// ChainHeads is the number of from-scratch walk heads per (model,
+	// destination, attacker) group under the planned schedule — the
+	// number of trees in the signed-delta forest, the number of nested
+	// chains, or the full deployment-axis length on the identity
+	// schedule.
+	ChainHeads int `json:"chain_heads"`
+	// DeltaEdges is the number of RunDelta steps per group walk
+	// (deployments minus ChainHeads; zero on the identity schedule).
+	DeltaEdges int `json:"delta_edges"`
+	// PredictedVolume is the planner's predicted adjacency edge-volume
+	// of one group walk under its cost model: ChainHeads from-scratch
+	// runs (each priced at the delta-threshold fraction of the graph's
+	// total edge-volume) plus every walk step's signed delta volume,
+	// capped at the from-scratch price. Comparing it against the
+	// identity prediction (axis length × from-scratch price) is the
+	// observable form of the planner's payoff.
+	PredictedVolume int64 `json:"predicted_volume"`
 }
 
 // ShardPartial is one completed shard's exact partial aggregate: for
@@ -167,7 +187,28 @@ func (gr *Grid) fingerprint(g *asgraph.Graph, ax *axes, sched *schedule) string 
 		wint(int(d))
 	}
 	if sched != nil && !sched.identity() {
-		wstr("schedule:chain-major")
+		if sched.plan.forest {
+			// Forest layouts hash their walk structure, not just a tag:
+			// the forest shape depends on the graph's adjacency degrees
+			// (the planner's edge-volume cost model), which the
+			// membership-only fields above do not capture — and any
+			// future cost-model change moves the layout. Binding the
+			// exact linearization makes every cross-layout resume a loud
+			// fingerprint mismatch instead of a silent wrong-bytes merge.
+			wstr("schedule:forest")
+			wint(len(sched.plan.chains))
+			for _, ch := range sched.plan.chains {
+				wint(len(ch))
+				for _, step := range ch {
+					wint(step.si)
+				}
+			}
+		} else {
+			// Nested-chain layouts keep the historical tag: the plan is a
+			// pure function of the memberships hashed above, so
+			// pre-forest chain-major checkpoints resume unchanged.
+			wstr("schedule:chain-major")
+		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }
@@ -285,7 +326,7 @@ func (gr *Grid) EvaluateSharded(ctx context.Context, g *asgraph.Graph, opts Shar
 	if err != nil {
 		return nil, err
 	}
-	sched := newSchedule(gr, ax)
+	sched := newSchedule(gr, ax, g)
 	size := opts.ShardSize
 	if size <= 0 {
 		size = DefaultShardSize

@@ -30,18 +30,23 @@ import (
 
 // IncrementalMode is the tri-state scheduling override for a grid's
 // evaluation order. The default, IncrementalAuto, uses chain-major
-// incremental scheduling whenever the deployment axis chains (results
-// are byte-identical either way, so there is no correctness reason to
-// opt out); IncrementalOff restores the legacy deployment-outermost
-// order, and IncrementalOn pins the incremental scheduler explicitly —
-// today it behaves exactly like Auto and exists so callers and scripts
-// can state their intent against future changes of the default.
+// incremental scheduling whenever the planner links any two deployments
+// by a signed delta — nested chains and signed-delta forests over
+// arbitrary, even pairwise-incomparable, axes alike (results are
+// byte-identical either way, so there is no correctness reason to opt
+// out); IncrementalOff restores the legacy deployment-outermost order,
+// and IncrementalOn pins the incremental scheduler explicitly — today
+// it behaves exactly like Auto and exists so callers and scripts can
+// state their intent against future changes of the default.
 type IncrementalMode int
 
 const (
 	// IncrementalAuto (the zero value): chain-major scheduling with
-	// RunDelta reuse whenever the deployment axis yields nested chains;
-	// incomparable axes degrade to the legacy order automatically.
+	// RunDelta reuse whenever the planner can link deployments cheaper
+	// than re-running them from scratch — nested axes walk grow-only
+	// chains, incomparable ones a signed-delta forest; only axes with no
+	// linkable pair (a singleton, or every pairwise delta at least a
+	// from-scratch run) degrade to the legacy order.
 	IncrementalAuto IncrementalMode = iota
 	// IncrementalOn pins incremental scheduling (currently identical to
 	// IncrementalAuto).
@@ -110,12 +115,15 @@ type Grid struct {
 
 	// Incremental selects the scheduling mode. The zero value,
 	// IncrementalAuto, orders the cell space chain-major: the
-	// deployment axis is partitioned into nested chains (see chain.go)
-	// and each (model, destination, attacker) triple walks its chain
-	// with Engine.RunDelta reusing the previous step's fixed point —
-	// byte-identical results, substantially faster rollout-shaped
-	// grids, and an automatic degradation to the legacy order when the
-	// axis has no chains. IncrementalOff forces the legacy order.
+	// deployment axis is covered by delta walks — nested chains, or a
+	// minimum-cost signed-delta forest when the axis holds incomparable
+	// deployments (see chain.go) — and each (model, destination,
+	// attacker) triple walks its chain with Engine.RunDelta replaying
+	// each step's signed delta onto the previous fixed point —
+	// byte-identical results, substantially faster for rollout-shaped
+	// and incomparable axes alike, and an automatic degradation to the
+	// legacy order when no two deployments link. IncrementalOff forces
+	// the legacy order.
 	Incremental IncrementalMode
 
 	// Workers is the worker-pool size; 0 means GOMAXPROCS.
@@ -349,7 +357,7 @@ func (gr *Grid) EvaluateContext(ctx context.Context, g *asgraph.Graph) (*Result,
 	// touch disjoint task sets, so the positional accumulator needs no
 	// locking, and the integer counts land in the same positions as the
 	// legacy scheduling — byte-identical results.
-	sched := newSchedule(gr, ax)
+	sched := newSchedule(gr, ax, g)
 	acc := make([]destAcc, ax.tasks)
 	err = runner.ForEach(ctx, sched.numRanges(), gr.Workers, gr.newWorkerState,
 		func(ws *workerState, ri int) {

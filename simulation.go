@@ -296,6 +296,11 @@ type JobEvalOptions struct {
 	Resume bool
 	// Sink observes every completed shard (see ShardOptions.Sink).
 	Sink func(*ShardPartial) error
+	// Stats, when non-nil, receives the evaluation's planner and
+	// dispatch counters (see ShardStats): how the deployment axis was
+	// scheduled — chain heads, delta edges, predicted volume — and how
+	// the shards and cross-shard handoffs played out.
+	Stats *ShardStats
 	// Pool recycles per-worker engine state across evaluations sharing
 	// this simulation's (topology, local-preference) pair.
 	Pool *EnginePool
@@ -320,6 +325,7 @@ func (s *Simulation) EvaluateJob(opts JobEvalOptions) (*Result, error) {
 		Checkpoint: cp,
 		Resume:     opts.Resume || s.resume,
 		Sink:       opts.Sink,
+		Stats:      opts.Stats,
 	})
 }
 
